@@ -1,0 +1,54 @@
+"""Ablation: the CF -> HF crossover exists only under thermal coupling.
+
+Sweeps the coupling mixing factor.  With coupling switched (almost) off,
+HF has no high-load story: CF matches or beats it everywhere.  At the
+calibrated coupling strength HF overtakes CF at high load — the paper's
+central observation.
+"""
+
+import pytest
+
+from repro.config.presets import scaled
+from repro.core import get_scheduler
+from repro.server.topology import moonshot_sut
+from repro.sim.runner import run_once
+from repro.workloads.benchmark import BenchmarkSet
+
+LOAD = 0.8
+
+
+def _hf_over_cf(mixing_factor: float) -> float:
+    topology = moonshot_sut(n_rows=3, mixing_factor=mixing_factor)
+    params = scaled(sim_time_s=16.0, warmup_s=6.0)
+    expansion = {}
+    for scheme in ("CF", "HF"):
+        expansion[scheme] = run_once(
+            topology,
+            params,
+            get_scheduler(scheme),
+            BenchmarkSet.COMPUTATION,
+            LOAD,
+        ).mean_runtime_expansion
+    return expansion["HF"] / expansion["CF"]
+
+
+def test_ablation_coupling_strength(benchmark, record_artifact):
+    def sweep():
+        return {
+            mixing: _hf_over_cf(mixing) for mixing in (0.05, 3.6)
+        }
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Without coupling HF cannot win at high load...
+    assert ratios[0.05] >= 0.999
+    # ...with the calibrated coupling it does.
+    assert ratios[3.6] < 1.0
+    # And coupling strictly worsens HF's relative standing... inverted:
+    # stronger coupling helps HF (its whole point is avoiding coupling
+    # damage).
+    assert ratios[3.6] < ratios[0.05]
+    record_artifact(
+        "ablation_coupling",
+        "HF/CF expansion at 80% load by mixing factor\n"
+        + "\n".join(f"kappa={k}: {v:.4f}" for k, v in ratios.items()),
+    )

@@ -1,0 +1,64 @@
+"""Ablation: CP's two design choices (downwind term, row restriction).
+
+Compares the full CouplingPredictor against (a) CP without the downwind
+slowdown term (degenerating to row-restricted Predictive) and (b) CP
+searching all idle sockets instead of one random row.
+"""
+
+from repro.config.presets import scaled
+from repro.core import CouplingPredictor, get_scheduler
+from repro.server.topology import moonshot_sut
+from repro.sim.runner import run_once
+from repro.workloads.benchmark import BenchmarkSet
+
+
+def _expansion(scheduler, load, topology, params):
+    return run_once(
+        topology, params, scheduler, BenchmarkSet.COMPUTATION, load
+    ).mean_runtime_expansion
+
+
+def test_ablation_cp_design(benchmark, record_artifact):
+    topology = moonshot_sut(n_rows=3)
+    params = scaled(sim_time_s=16.0, warmup_s=6.0)
+
+    def sweep():
+        out = {}
+        for load in (0.3, 0.8):
+            out[("CF", load)] = _expansion(
+                get_scheduler("CF"), load, topology, params
+            )
+            out[("CP", load)] = _expansion(
+                CouplingPredictor(), load, topology, params
+            )
+            out[("CP-nocoupling", load)] = _expansion(
+                CouplingPredictor(coupling_aware=False),
+                load,
+                topology,
+                params,
+            )
+            out[("CP-global", load)] = _expansion(
+                CouplingPredictor(row_restricted=False),
+                load,
+                topology,
+                params,
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # The downwind term is what buys the high-load benefit.
+    assert (
+        results[("CP", 0.8)] <= results[("CP-nocoupling", 0.8)] + 0.002
+    )
+    # Full CP beats CF at both load extremes.
+    for load in (0.3, 0.8):
+        assert results[("CP", load)] < results[("CF", load)]
+    lines = [
+        f"{name} @ {load:.0%}: expansion/CF = "
+        f"{results[(name, load)] / results[('CF', load)]:.4f}"
+        for load in (0.3, 0.8)
+        for name in ("CP", "CP-nocoupling", "CP-global")
+    ]
+    record_artifact(
+        "ablation_cp", "CP design ablation\n" + "\n".join(lines)
+    )

@@ -1,0 +1,65 @@
+"""Extension bench: dynamic fan control trade-off.
+
+Quantifies the cooling-performance trade-off: capping fan speed saves
+cubic fan energy but strengthens coupling and costs performance; the
+controller at full range keeps performance while modulating with load.
+"""
+
+from repro.config.presets import scaled
+from repro.core import get_scheduler
+from repro.server.topology import moonshot_sut
+from repro.sim.engine import Simulation
+from repro.thermal.fan_control import FanController
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.benchmark import BenchmarkSet
+
+
+def _run(max_scale):
+    topology = moonshot_sut(n_rows=3)
+    params = scaled(sim_time_s=14.0, warmup_s=5.0)
+    jobs = ArrivalProcess(
+        benchmark_set=BenchmarkSet.COMPUTATION,
+        load=0.7,
+        n_sockets=topology.n_sockets,
+        seed=0,
+        duration_scale=params.duration_scale,
+    ).generate(params.sim_time_s)
+    controller = FanController(
+        design_total_cfm=topology.total_airflow_cfm(),
+        min_scale=0.4,
+        max_scale=max_scale,
+    )
+    return Simulation(
+        topology,
+        params,
+        get_scheduler("CP"),
+        fan_controller=controller,
+    ).run(jobs)
+
+
+def test_extension_fan_control(benchmark, record_artifact):
+    def sweep():
+        return {scale: _run(scale) for scale in (0.5, 1.0)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    starved = results[0.5]
+    nominal = results[1.0]
+    # Less airflow -> hotter chips and worse performance...
+    assert starved.max_chip_c.max() > nominal.max_chip_c.max()
+    assert (
+        starved.mean_runtime_expansion
+        >= nominal.mean_runtime_expansion
+    )
+    # ...but lower fan energy.
+    assert starved.cooling_energy_j < nominal.cooling_energy_j
+    record_artifact(
+        "extension_fan_control",
+        "Fan ceiling trade-off at 70% load (CP)\n"
+        + "\n".join(
+            f"max_scale={scale}: expansion="
+            f"{r.mean_runtime_expansion:.4f} "
+            f"cooling_kJ={r.cooling_energy_j / 1000:.2f} "
+            f"max_chip={r.max_chip_c.max():.1f}"
+            for scale, r in results.items()
+        ),
+    )

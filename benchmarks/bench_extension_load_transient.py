@@ -1,0 +1,21 @@
+"""Extension bench: robustness under a 20% -> 90% load ramp."""
+
+from repro.experiments import load_transient
+
+from conftest import capture_main
+
+
+def test_extension_load_transient(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        load_transient.run, rounds=1, iterations=1
+    )
+    relative = result.relative_to("CF")
+    # CP never loses to CF over the whole ramp and is the (tied) best
+    # end-to-end scheme.
+    assert relative["CP"] <= 1.005
+    assert result.expansion["CP"] <= min(
+        result.expansion[s] for s in ("HF", "MinHR", "Predictive")
+    ) * 1.01
+    record_artifact(
+        "extension_load_transient", capture_main(load_transient.main)
+    )

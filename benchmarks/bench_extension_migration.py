@@ -1,0 +1,59 @@
+"""Extension bench: thermal migration of long-running jobs.
+
+The paper (Section VI) argues its scheduling machinery applies to
+workload migration when jobs are long.  This bench quantifies it: with
+100x-length jobs at high load, enabling the MigrationPolicy on top of
+plain CF recovers part of the coupling-aware gain.
+"""
+
+from repro.config.presets import scaled
+from repro.core import get_scheduler
+from repro.core.migration import MigrationPolicy
+from repro.server.topology import moonshot_sut
+from repro.sim.engine import Simulation
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.benchmark import BenchmarkSet
+
+
+def _run(migrator):
+    topology = moonshot_sut(n_rows=3)
+    params = scaled(sim_time_s=14.0, warmup_s=5.0).with_overrides(
+        duration_scale=100.0
+    )
+    jobs = ArrivalProcess(
+        benchmark_set=BenchmarkSet.COMPUTATION,
+        load=0.45,
+        n_sockets=topology.n_sockets,
+        seed=0,
+        duration_scale=params.duration_scale,
+    ).generate(params.sim_time_s)
+    return Simulation(
+        topology, params, get_scheduler("CF"), migrator=migrator
+    ).run(jobs)
+
+
+def test_extension_migration(benchmark, record_artifact):
+    def sweep():
+        return {
+            "baseline": _run(None),
+            "migrating": _run(
+                MigrationPolicy(interval_s=0.05, min_gain_mhz=300.0)
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    baseline = results["baseline"]
+    migrating = results["migrating"]
+    assert migrating.n_migrations > 0
+    # Migration must not hurt and should help with long jobs.
+    assert (
+        migrating.mean_runtime_expansion
+        <= baseline.mean_runtime_expansion * 1.005
+    )
+    record_artifact(
+        "extension_migration",
+        "CF with long jobs (100x) at 70% load\n"
+        f"baseline expansion:  {baseline.mean_runtime_expansion:.4f}\n"
+        f"migrating expansion: {migrating.mean_runtime_expansion:.4f}\n"
+        f"migrations: {migrating.n_migrations}",
+    )

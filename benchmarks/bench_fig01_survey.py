@@ -1,0 +1,28 @@
+"""Regenerate Figure 1 (power and socket density per server class)."""
+
+import pytest
+
+from repro.analysis.survey import ServerClass
+from repro.experiments import fig01_survey
+
+from conftest import capture_main
+
+
+def test_fig01_survey(benchmark, record_artifact):
+    result = benchmark(fig01_survey.run)
+    stats = result.stats
+    assert stats[ServerClass.U1].mean_power_per_u_w == pytest.approx(
+        208.0
+    )
+    assert stats[
+        ServerClass.DENSITY_OPT
+    ].mean_sockets_per_u == pytest.approx(25.0)
+    # Density optimized leads every class on both axes.
+    for server_class in ServerClass:
+        if server_class is ServerClass.DENSITY_OPT:
+            continue
+        assert (
+            stats[ServerClass.DENSITY_OPT].mean_power_per_u_w
+            > stats[server_class].mean_power_per_u_w
+        )
+    record_artifact("fig01", capture_main(fig01_survey.main))

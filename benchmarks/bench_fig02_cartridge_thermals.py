@@ -1,0 +1,19 @@
+"""Regenerate Figure 2 (cartridge thermal profile)."""
+
+import pytest
+
+from repro.experiments import fig02_cartridge_thermals
+
+from conftest import capture_main
+
+
+def test_fig02_cartridge_thermals(benchmark, record_artifact):
+    result = benchmark(fig02_cartridge_thermals.run)
+    # The paper's CFD observable: ~8 degC entry-air rise at 15 W.
+    assert result.entry_delta_c == pytest.approx(8.0, abs=1.0)
+    # The two-sink design compensates: downstream chip within ~2 degC
+    # of upstream despite the hotter intake.
+    assert abs(result.chip_c[1] - result.chip_c[0]) < 2.0
+    record_artifact(
+        "fig02", capture_main(fig02_cartridge_thermals.main)
+    )

@@ -1,0 +1,15 @@
+"""Regenerate Figure 3 (CF vs HF on coupled / uncoupled 2-socket)."""
+
+from repro.experiments import fig03_motivation
+
+from conftest import capture_main
+
+
+def test_fig03_motivation(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        fig03_motivation.run, rounds=1, iterations=1
+    )
+    # Paper shape: CF wins uncoupled (~8%), HF wins coupled (~5%).
+    assert result.cf_advantage_uncoupled > 1.02
+    assert result.hf_advantage_coupled > 1.01
+    record_artifact("fig03", capture_main(fig03_motivation.main))

@@ -1,0 +1,29 @@
+"""Regenerate Figure 5 (entry temperature vs degree of coupling)."""
+
+import pytest
+
+from repro.experiments import fig05_entry_temperature
+
+from conftest import capture_main
+
+
+def test_fig05_entry_temperature(benchmark, record_artifact):
+    result = benchmark(fig05_entry_temperature.run)
+    # Paper's example: ~10 degC mean difference, degree 5 vs 1, at
+    # 15 W / 6 CFM.
+    delta = result.mean_entry_delta(15.0, 6.0, 1, 5)
+    assert delta == pytest.approx(8.8, abs=1.5)
+    # Mean entry temperature rises with degree everywhere.
+    for power in (5.0, 15.0, 45.0, 140.0):
+        for airflow in (6.0, 12.0, 24.0):
+            means = [m for _, m, _ in result.series(power, airflow)]
+            assert means == sorted(means)
+    # CoV rises with degree in the moderate-rise regime Figure 5 plots
+    # (for extreme power/airflow ratios the staircase dominates the
+    # inlet and absolute-temperature CoV saturates).
+    for power, airflow in ((5.0, 6.0), (15.0, 6.0), (15.0, 12.0)):
+        covs = [c for _, _, c in result.series(power, airflow)]
+        assert covs == sorted(covs)
+    record_artifact(
+        "fig05", capture_main(fig05_entry_temperature.main)
+    )

@@ -1,0 +1,18 @@
+"""Regenerate Figure 6 (job duration statistics per set)."""
+
+from repro.experiments import fig06_job_durations
+
+from conftest import capture_main
+
+
+def test_fig06_job_durations(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        fig06_job_durations.run, rounds=1, iterations=1
+    )
+    for stats in result.stats.values():
+        # Figure 6a: a few ms means, maxima ~2 orders above the mean.
+        assert 2.0 <= stats.mean_ms <= 10.0
+        assert stats.max_over_mean > 20
+        # Figure 6b: intra-set CoV in the 0.25-0.33 band.
+        assert 0.24 <= stats.cov <= 0.34
+    record_artifact("fig06", capture_main(fig06_job_durations.main))

@@ -1,0 +1,28 @@
+"""Regenerate Figure 7 (power and performance vs frequency)."""
+
+import pytest
+
+from repro.experiments import fig07_power_performance
+from repro.workloads.benchmark import BenchmarkSet
+
+from conftest import capture_main
+
+
+def test_fig07_power_performance(benchmark, record_artifact):
+    result = benchmark(fig07_power_performance.run)
+    power = result.power_w
+    perf = result.performance
+    # Figure 7a anchors at 1900 MHz / 90 C.
+    assert power[BenchmarkSet.COMPUTATION][1900] == pytest.approx(18.0)
+    assert power[BenchmarkSet.GENERAL_PURPOSE][1900] == pytest.approx(
+        14.0
+    )
+    assert power[BenchmarkSet.STORAGE][1900] == pytest.approx(10.5)
+    # Figure 7b: Computation -35% at 1100 MHz, Storage least sensitive.
+    assert perf[BenchmarkSet.COMPUTATION][1100] == pytest.approx(0.65)
+    assert perf[BenchmarkSet.STORAGE][1100] > perf[
+        BenchmarkSet.GENERAL_PURPOSE
+    ][1100] > perf[BenchmarkSet.COMPUTATION][1100]
+    record_artifact(
+        "fig07", capture_main(fig07_power_performance.main)
+    )

@@ -1,0 +1,18 @@
+"""Regenerate Figure 9 (heat-sink thermals and on-die spreads)."""
+
+from repro.experiments import fig09_heatsinks
+
+from conftest import capture_main
+
+
+def test_fig09_heatsinks(benchmark, record_artifact):
+    result = benchmark(fig09_heatsinks.run)
+    low, high = result.spread_range()
+    # Figure 9a: 4-7 degC hot-cold spreads on the small die.
+    assert low >= 3.5
+    assert high <= 7.5
+    # Figure 9b: 30-fin advantage 3-4 degC (low power), 6-7 (high).
+    advantage = result.sink_advantage()
+    assert 2.5 <= advantage["low_power"] <= 5.0
+    assert 5.5 <= advantage["high_power"] <= 8.5
+    record_artifact("fig09", capture_main(fig09_heatsinks.main))

@@ -1,0 +1,16 @@
+"""Regenerate Figure 10 (simplified model validation)."""
+
+from repro.experiments import fig10_model_validation
+
+from conftest import capture_main
+
+
+def test_fig10_model_validation(benchmark, record_artifact):
+    result = benchmark(fig10_model_validation.run)
+    # Paper: Equation 1 agrees with the detailed model within ~2 degC,
+    # irrespective of heat sink.
+    assert result.max_abs_error_c <= 2.0
+    assert len(result.points) == 38
+    record_artifact(
+        "fig10", capture_main(fig10_model_validation.main)
+    )

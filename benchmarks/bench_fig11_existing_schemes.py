@@ -1,0 +1,26 @@
+"""Regenerate Figure 11 (existing schemes at 30% / 70% load)."""
+
+from repro.experiments import fig11_existing_schemes
+
+from conftest import capture_main
+
+
+def test_fig11_existing_schemes(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        fig11_existing_schemes.run, rounds=1, iterations=1
+    )
+    low, high = result.loads
+    # At low load HF and MinHR are clearly worse than CF...
+    assert result.expansion_vs_cf[("HF", low)] > 1.03
+    assert result.expansion_vs_cf[("MinHR", low)] > 1.03
+    # ...and Predictive is at least CF-par.
+    assert result.expansion_vs_cf[("Predictive", low)] <= 1.005
+    # At high load the ordering flips: HF / MinHR beat CF.
+    assert result.expansion_vs_cf[("HF", high)] < 1.0
+    assert result.expansion_vs_cf[("MinHR", high)] < 1.0
+    # Predictive has lost its advantage.
+    assert result.expansion_vs_cf[("Predictive", high)] > 0.99
+    assert result.best_at(high) in ("HF", "MinHR", "Random")
+    record_artifact(
+        "fig11", capture_main(fig11_existing_schemes.main)
+    )

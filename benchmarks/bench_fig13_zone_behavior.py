@@ -1,0 +1,24 @@
+"""Regenerate Figure 13 (zone frequency and work-done split)."""
+
+from repro.experiments import fig13_zone_behavior
+
+from conftest import capture_main
+
+
+def test_fig13_zone_behavior(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        fig13_zone_behavior.run, rounds=1, iterations=1
+    )
+    low, high = result.loads
+    # Front-loading schemes put most work in the front half at low load.
+    for scheme in ("CF", "Balanced-L", "Predictive", "CP"):
+        assert result.reports[(scheme, low)].front_work > 0.6, scheme
+    # HF / MinHR / Random do not front-load.
+    for scheme in ("HF", "MinHR", "Random"):
+        assert result.reports[(scheme, low)].front_work < 0.6, scheme
+    # At high load the back half works more and runs slower (CF).
+    cf_low = result.reports[("CF", low)]
+    cf_high = result.reports[("CF", high)]
+    assert cf_high.back_work > cf_low.back_work
+    assert cf_high.back_freq < cf_high.front_freq
+    record_artifact("fig13", capture_main(fig13_zone_behavior.main))

@@ -1,0 +1,47 @@
+"""Regenerate Figure 14 (performance vs CF across schemes x loads x sets).
+
+This is the paper's headline experiment and the heaviest benchmark: a
+full scheduler x load x workload sweep (10 schemes x 5 loads x 3 sets by
+default).  Scale up with REPRO_ROWS / REPRO_SIM_TIME.
+"""
+
+from repro.experiments import fig14_performance
+from repro.workloads.benchmark import BenchmarkSet
+
+from conftest import capture_main
+
+
+def test_fig14_performance(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        fig14_performance.run, rounds=1, iterations=1
+    )
+    computation = BenchmarkSet.COMPUTATION
+    storage = BenchmarkSet.STORAGE
+
+    # CP never loses badly to CF anywhere and wins on average for the
+    # frequency-sensitive sets.
+    for benchmark_set in result.benchmark_sets:
+        for load in result.loads:
+            assert (
+                result.performance_vs_cf[("CP", benchmark_set, load)]
+                > 0.97
+            )
+    assert result.average_gain("CP", computation) > 1.005
+
+    # The largest CP margins appear for Computation (paper: up to 17%).
+    assert result.peak_gain("CP", computation) > result.peak_gain(
+        "CP", storage
+    )
+
+    # HF / MinHR: poor at the lowest load, competitive at the highest.
+    low, high = result.loads[0], result.loads[-1]
+    assert result.performance_vs_cf[("HF", computation, low)] < 0.95
+    assert result.performance_vs_cf[("HF", computation, high)] > 0.99
+
+    # Storage is muted: every scheme within a narrow band of CF.
+    for scheme in result.schemes:
+        for load in result.loads:
+            value = result.performance_vs_cf[(scheme, storage, load)]
+            assert 0.93 < value < 1.07, (scheme, load)
+
+    record_artifact("fig14", capture_main(fig14_performance.main))

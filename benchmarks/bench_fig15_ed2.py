@@ -1,0 +1,28 @@
+"""Regenerate Figure 15 (ED^2 vs CF across loads and workloads)."""
+
+from repro.experiments import fig15_ed2
+from repro.workloads.benchmark import BenchmarkSet
+
+from conftest import capture_main
+
+
+def test_fig15_ed2(benchmark, record_artifact):
+    result = benchmark.pedantic(fig15_ed2.run, rounds=1, iterations=1)
+    computation = BenchmarkSet.COMPUTATION
+    # CP imposes no energy-delay penalty over CF at any load...
+    for benchmark_set in result.benchmark_sets:
+        for load in result.loads:
+            assert (
+                result.ed2_vs_cf[("CP", benchmark_set, load)] < 1.05
+            )
+    # ...and improves ED^2 where it improves performance.
+    assert result.best_ed2(computation) < 0.95
+    # CP tracks the best existing scheme per load.
+    for load in result.loads:
+        best_existing = min(
+            result.ed2_vs_cf[(scheme, computation, load)]
+            for scheme in ("HF", "MinHR", "Predictive")
+        )
+        cp = result.ed2_vs_cf[("CP", computation, load)]
+        assert cp <= best_existing + 0.06, load
+    record_artifact("fig15", capture_main(fig15_ed2.main))

@@ -1,0 +1,12 @@
+"""Regenerate Table I (density optimized system catalog)."""
+
+from repro.experiments import table1_catalog
+
+from conftest import capture_main
+
+
+def test_table1_catalog(benchmark, record_artifact):
+    result = benchmark(table1_catalog.run)
+    assert len(result.systems) == 11
+    assert result.max_density == 72.0
+    record_artifact("table1", capture_main(table1_catalog.main))

@@ -1,0 +1,16 @@
+"""Regenerate Table II (airflow requirements per server class)."""
+
+import pytest
+
+from repro.experiments import table2_airflow
+
+from conftest import capture_main
+
+
+def test_table2_airflow(benchmark, record_artifact):
+    result = benchmark(table2_airflow.run)
+    values = {name: cfm for name, _, cfm in result.rows_data}
+    assert values["1U"] == pytest.approx(18.30, abs=0.01)
+    assert values["Blade"] == pytest.approx(37.05, abs=0.01)
+    assert values["DensityOpt"] == pytest.approx(51.74, abs=0.01)
+    record_artifact("table2", capture_main(table2_airflow.main))

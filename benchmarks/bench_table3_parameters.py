@@ -1,0 +1,13 @@
+"""Regenerate Table III (simulation model parameters)."""
+
+from repro.experiments import table3_parameters
+
+from conftest import capture_main
+
+
+def test_table3_parameters(benchmark, record_artifact):
+    result = benchmark(table3_parameters.run)
+    rendered = dict(result.rows_data)
+    assert rendered["Temperature limit"] == "95 C"
+    assert rendered["R_Ext 18-fin"] == "1.578 Celsius/Watt"
+    record_artifact("table3", capture_main(table3_parameters.main))

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one paper table or figure.  Heavy
+simulations run exactly once inside ``benchmark.pedantic`` (the metric of
+interest is the experiment's wall time, not micro-op throughput), and
+every module writes the regenerated rows/series to
+``benchmarks/results/<artifact>.txt`` so the numbers can be inspected
+after a run.
+"""
+
+import io
+import os
+from contextlib import redirect_stdout
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_artifact():
+    """Write a regenerated artifact's text to benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text)
+
+    return _record
+
+
+def capture_main(main) -> str:
+    """Run an experiment's ``main()`` capturing its printed output."""
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        main()
+    return buffer.getvalue()

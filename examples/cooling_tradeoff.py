@@ -1,0 +1,90 @@
+"""Cooling-performance trade-off with dynamic fan control.
+
+Density optimized servers share one fan bank; running it slower saves
+cubic fan power but strengthens inter-socket coupling (entry-temperature
+rises scale as 1/CFM), throttling downstream sockets.  This example
+sweeps the fan ceiling and reports compute energy, cooling energy and
+performance — the trade-off that motivates coupling-aware scheduling in
+the first place.  It also shows the thermal-migration extension
+rescuing long jobs stranded on throttled sockets.
+
+Run:
+    python examples/cooling_tradeoff.py
+"""
+
+from repro import BenchmarkSet, get_scheduler, moonshot_sut, scaled
+from repro.core.migration import MigrationPolicy
+from repro.sim.engine import Simulation
+from repro.thermal.fan_control import FanController
+from repro.workloads.arrivals import ArrivalProcess
+
+
+def build_jobs(topology, params, load):
+    return ArrivalProcess(
+        benchmark_set=BenchmarkSet.COMPUTATION,
+        load=load,
+        n_sockets=topology.n_sockets,
+        seed=0,
+        duration_scale=params.duration_scale,
+    ).generate(params.sim_time_s)
+
+
+def fan_sweep() -> None:
+    topology = moonshot_sut(n_rows=3)
+    params = scaled(sim_time_s=14.0, warmup_s=5.0)
+    jobs_template = build_jobs(topology, params, load=0.7)
+
+    print("Fan ceiling sweep at 70% Computation load (CP scheduler)")
+    print("max scale  perf(exp)  compute (kJ)  cooling (kJ)  max chip")
+    for max_scale in (0.5, 0.75, 1.0, 1.25):
+        controller = FanController(
+            design_total_cfm=topology.total_airflow_cfm(),
+            min_scale=0.4,
+            max_scale=max_scale,
+        )
+        jobs = build_jobs(topology, params, load=0.7)
+        result = Simulation(
+            topology,
+            params,
+            get_scheduler("CP"),
+            fan_controller=controller,
+        ).run(jobs)
+        print(
+            f"{max_scale:>9.2f}  {result.mean_runtime_expansion:9.4f}"
+            f"  {result.energy_j / 1000:12.1f}"
+            f"  {result.cooling_energy_j / 1000:12.2f}"
+            f"  {result.max_chip_c.max():8.1f}"
+        )
+
+
+def migration_demo() -> None:
+    topology = moonshot_sut(n_rows=3)
+    # Long jobs (100x scale) make migration worthwhile.
+    params = scaled(sim_time_s=14.0, warmup_s=5.0).with_overrides(
+        duration_scale=100.0
+    )
+    print("\nThermal migration of long jobs (CF placement, 45% load)")
+    for migrator in (
+        None,
+        MigrationPolicy(interval_s=0.05, min_gain_mhz=300.0),
+    ):
+        result = Simulation(
+            topology,
+            params,
+            get_scheduler("CF"),
+            migrator=migrator,
+        ).run(build_jobs(topology, params, load=0.45))
+        label = "with migration" if migrator else "no migration  "
+        print(
+            f"  {label}: expansion {result.mean_runtime_expansion:.4f},"
+            f" migrations {result.n_migrations}"
+        )
+
+
+def main() -> None:
+    fan_sweep()
+    migration_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Design-space exploration: how dense is too dense?
+
+Uses the analytical entry-temperature model (paper Section II-B) and
+the simulation engine to explore socket-organisation choices for a new
+dense-server design: for each degree of thermal coupling, what entry
+temperatures do downstream sockets see, and how much performance does a
+coupling-aware scheduler recover?
+
+Run:
+    python examples/design_space_exploration.py
+"""
+
+from repro import BenchmarkSet, get_scheduler, run_once, scaled
+from repro.analysis.capacity import (
+    derating_curve,
+    max_sustainable_utilization,
+    throttle_onset_zone,
+)
+from repro.config.parameters import SimulationParameters
+from repro.server.topology import ServerTopology, moonshot_sut
+from repro.thermal.analytical import entry_temperature_statistics
+
+
+def analytical_sweep() -> None:
+    print("Analytical model: 15 W sockets at 6.35 CFM per socket")
+    print("degree  mean entry (C)  max entry (C)  CoV")
+    for degree in (1, 2, 3, 5, 7, 11):
+        stats = entry_temperature_statistics(
+            degree_of_coupling=degree, power_w=15.0, airflow_cfm=6.35
+        )
+        print(
+            f"{degree:>6}  {stats.mean_c:>14.1f}  "
+            f"{stats.max_c:>13.1f}  {stats.cov:.3f}"
+        )
+
+
+def simulated_sweep() -> None:
+    print(
+        "\nSimulated CP gain over CF at 70% Computation load, by chain"
+        " length"
+    )
+    print("chain  sockets  CP performance vs CF")
+    params = scaled(sim_time_s=14.0, warmup_s=5.0)
+    for chain_length in (2, 4, 6):
+        topology = ServerTopology(
+            n_rows=3,
+            lanes_per_row=2,
+            chain_length=chain_length,
+            sockets_per_cartridge_depth=2,
+        )
+        results = {}
+        for scheme in ("CF", "CP"):
+            results[scheme] = run_once(
+                topology,
+                params,
+                get_scheduler(scheme),
+                BenchmarkSet.COMPUTATION,
+                load=0.7,
+            )
+        gain = (
+            results["CP"].performance / results["CF"].performance
+        )
+        print(
+            f"{chain_length:>5}  {topology.n_sockets:>7}  {gain:18.3f}"
+        )
+
+
+def capacity_planning() -> None:
+    print("\nCapacity planning for the SUT (Computation workload)")
+    topology = moonshot_sut(n_rows=2)
+    params = SimulationParameters()
+    util = max_sustainable_utilization(topology, params)
+    zone, onset = throttle_onset_zone(topology, params)
+    print(
+        f"  max sustainable uniform utilisation: {util:.2f} "
+        f"(zone {zone} throttles first, at {onset:.2f})"
+    )
+    print("  derating with inlet temperature:")
+    for point in derating_curve(
+        topology, params, inlets_c=(18.0, 25.0, 32.0, 40.0)
+    ):
+        print(
+            f"    inlet {point.inlet_c:5.1f} C -> max utilisation "
+            f"{point.max_utilization:.2f}"
+        )
+
+
+def main() -> None:
+    analytical_sweep()
+    simulated_sweep()
+    capacity_planning()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: simulate a dense server and compare two schedulers.
+
+Builds a scaled-down Moonshot-M700-like system under test (SUT), offers
+it a 50% Computation load, and compares the classic Coolest First
+scheduler against the paper's CouplingPredictor.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    BenchmarkSet,
+    get_scheduler,
+    moonshot_sut,
+    run_once,
+    scaled,
+    zone_report,
+)
+
+
+def main() -> None:
+    # A 5-row slice of the 15-row SUT: 60 sockets, 3 cartridges deep,
+    # alternating 18-/30-fin heat sinks, shared directional airflow.
+    topology = moonshot_sut(n_rows=5)
+    print(
+        f"SUT: {topology.n_sockets} sockets, "
+        f"{topology.n_zones} zones, "
+        f"{topology.total_airflow_cfm():.0f} CFM total airflow"
+    )
+
+    # Scaled simulation parameters (see repro.config.presets for how
+    # the paper's 30-minute runs are compressed while preserving the
+    # thermal regime).
+    params = scaled(sim_time_s=20.0, warmup_s=7.0)
+
+    for name in ("CF", "CP"):
+        result = run_once(
+            topology,
+            params,
+            get_scheduler(name),
+            BenchmarkSet.COMPUTATION,
+            load=0.5,
+        )
+        zones = zone_report(result)
+        print(
+            f"\n{name}: {result.n_jobs_completed} jobs, "
+            f"mean runtime expansion {result.mean_runtime_expansion:.4f}"
+        )
+        print(
+            f"  avg relative frequency {result.average_relative_frequency():.3f}, "
+            f"utilization {result.utilization:.2f}, "
+            f"avg power {result.average_power_w:.0f} W"
+        )
+        print(
+            f"  front/back work split {zones.front_work:.2f}/"
+            f"{zones.back_work:.2f}, "
+            f"front/back frequency {zones.front_freq:.3f}/"
+            f"{zones.back_freq:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

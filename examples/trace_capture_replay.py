@@ -1,0 +1,62 @@
+"""Xperf-style trace capture and replay (the paper's methodology).
+
+The paper builds its job arrival model by capturing Windows Xperf traces
+of PCMark runs and fitting arrival statistics to them.  This example
+reproduces the pipeline on synthetic data: capture an activity trace of
+one application, fit an empirical arrival model, and drive a simulation
+with the replayed jobs.
+
+Run:
+    python examples/trace_capture_replay.py
+"""
+
+from repro import get_scheduler, moonshot_sut, scaled
+from repro.sim.engine import Simulation
+from repro.workloads.pcmark import app_by_name
+from repro.workloads.traces import (
+    arrival_model_from_trace,
+    capture_trace,
+)
+
+
+def main() -> None:
+    app = app_by_name("web-browsing")
+
+    # 1. "Capture" an activity trace of the app at 40% single-socket
+    #    load — busy/idle transitions like an Xperf log.
+    trace = capture_trace(app, duration_s=120.0, load=0.4, seed=7)
+    print(
+        f"Captured {len(trace.busy_intervals_s)} busy intervals over "
+        f"{trace.duration_s:.0f}s; busy fraction "
+        f"{trace.busy_fraction:.2f}"
+    )
+
+    # 2. Fit an empirical job arrival model.
+    model = arrival_model_from_trace(trace, app)
+    print(
+        f"Fitted model: mean duration {model.mean_duration_s * 1000:.1f} ms, "
+        f"mean gap {model.mean_gap_s * 1000:.1f} ms"
+    )
+
+    # 3. Replay onto a server. The replay horizon and socket count are
+    #    independent of the capture: generate one stream per socket.
+    topology = moonshot_sut(n_rows=2)
+    params = scaled(sim_time_s=12.0, warmup_s=4.0)
+    jobs = []
+    for socket_seed in range(topology.n_sockets):
+        stream = model.generate(params.sim_time_s, seed=socket_seed)
+        jobs.extend(stream)
+    for job_id, job in enumerate(sorted(jobs, key=lambda j: j.arrival_s)):
+        job.job_id = job_id
+
+    result = Simulation(topology, params, get_scheduler("CP")).run(jobs)
+    print(
+        f"Replayed {result.n_jobs_completed} jobs on "
+        f"{topology.n_sockets} sockets: mean runtime expansion "
+        f"{result.mean_runtime_expansion:.4f}, utilization "
+        f"{result.utilization:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""VDI scheduler comparison: the paper's headline experiment, condensed.
+
+Sweeps every registered scheduling policy over low / medium / high load
+for the three VDI workload sets (Computation, GP, Storage) on the dense
+SUT, and prints performance relative to the Coolest First baseline —
+a condensed Figure 14.
+
+Run:
+    python examples/vdi_scheduler_comparison.py          # scaled demo
+    REPRO_ROWS=15 python examples/vdi_scheduler_comparison.py  # full SUT
+"""
+
+import os
+
+from repro import (
+    BenchmarkSet,
+    all_scheduler_names,
+    get_scheduler,
+    moonshot_sut,
+    relative_performance,
+    run_once,
+    scaled,
+)
+
+LOADS = (0.2, 0.5, 0.8)
+
+
+def main() -> None:
+    n_rows = int(os.environ.get("REPRO_ROWS", "3"))
+    topology = moonshot_sut(n_rows=n_rows)
+    params = scaled(sim_time_s=16.0, warmup_s=6.0)
+    schemes = all_scheduler_names()
+
+    for benchmark_set in (
+        BenchmarkSet.COMPUTATION,
+        BenchmarkSet.GENERAL_PURPOSE,
+        BenchmarkSet.STORAGE,
+    ):
+        print(f"\n=== {benchmark_set.value} — performance vs CF ===")
+        header = "scheme".ljust(12) + "".join(
+            f"{load:>8.0%}" for load in LOADS
+        )
+        print(header)
+        baselines = {
+            load: run_once(
+                topology,
+                params,
+                get_scheduler("CF"),
+                benchmark_set,
+                load,
+            )
+            for load in LOADS
+        }
+        for name in schemes:
+            cells = []
+            for load in LOADS:
+                if name == "CF":
+                    cells.append(1.0)
+                    continue
+                result = run_once(
+                    topology,
+                    params,
+                    get_scheduler(name),
+                    benchmark_set,
+                    load,
+                )
+                cells.append(
+                    relative_performance(result, baselines[load])
+                )
+            print(
+                name.ljust(12)
+                + "".join(f"{value:8.3f}" for value in cells)
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` (and legacy editable installs) work in
+offline environments where pip cannot build PEP 660 editable wheels
+(no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""repro — reproduction of "Understanding the Impact of Socket Density in
+Density Optimized Servers" (Arora et al., HPCA 2019).
+
+The library models intra-server thermals of density optimized servers
+(shared cooling, uni-directional airflow, inter-socket thermal coupling)
+and evaluates temperature-aware job scheduling policies on them,
+including the paper's proposed CouplingPredictor (CP).
+
+Quickstart::
+
+    from repro import (
+        moonshot_sut, scaled, run_once, get_scheduler, BenchmarkSet,
+    )
+
+    topology = moonshot_sut(n_rows=5)
+    params = scaled()
+    result = run_once(
+        topology, params, get_scheduler("CP"),
+        BenchmarkSet.COMPUTATION, load=0.7,
+    )
+    print(result.mean_runtime_expansion)
+
+Packages:
+
+- :mod:`repro.thermal` — heat sinks, chip models, airflow, coupling.
+- :mod:`repro.server` — processors, sockets, topologies, Table I.
+- :mod:`repro.workloads` — synthetic PCMark suite, power/perf models,
+  arrivals, traces.
+- :mod:`repro.sim` — the vectorised simulation engine.
+- :mod:`repro.core` — the scheduling policies (the paper's
+  contribution).
+- :mod:`repro.metrics` — performance / energy / zone metrics.
+- :mod:`repro.analysis` — the Figure 1 server survey.
+- :mod:`repro.experiments` — one module per paper table and figure.
+"""
+
+from ._version import __version__
+from .errors import (
+    ReproError,
+    ConfigurationError,
+    TopologyError,
+    ThermalModelError,
+    WorkloadError,
+    SchedulingError,
+    SimulationError,
+)
+from .config import SimulationParameters, paper_faithful, scaled, smoke
+from .server import (
+    moonshot_sut,
+    two_socket_system,
+    ServerTopology,
+    OPTERON_X2150,
+    TABLE_I_SYSTEMS,
+)
+from .thermal import (
+    HeatSink,
+    FIN_18,
+    FIN_30,
+    SimplifiedChipModel,
+    DetailedChipModel,
+    peak_temperature,
+)
+from .workloads import (
+    BenchmarkSet,
+    PCMARK_APPS,
+    ArrivalProcess,
+    PowerModel,
+    PerfModel,
+    Job,
+)
+from .sim import Simulation, SimulationResult, run_once, run_sweep
+from .core import (
+    Scheduler,
+    get_scheduler,
+    register_scheduler,
+    all_scheduler_names,
+    CouplingPredictor,
+    MigrationPolicy,
+)
+from .metrics import (
+    relative_performance,
+    relative_ed2,
+    zone_report,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "ThermalModelError",
+    "WorkloadError",
+    "SchedulingError",
+    "SimulationError",
+    "SimulationParameters",
+    "paper_faithful",
+    "scaled",
+    "smoke",
+    "moonshot_sut",
+    "two_socket_system",
+    "ServerTopology",
+    "OPTERON_X2150",
+    "TABLE_I_SYSTEMS",
+    "HeatSink",
+    "FIN_18",
+    "FIN_30",
+    "SimplifiedChipModel",
+    "DetailedChipModel",
+    "peak_temperature",
+    "BenchmarkSet",
+    "PCMARK_APPS",
+    "ArrivalProcess",
+    "PowerModel",
+    "PerfModel",
+    "Job",
+    "Simulation",
+    "SimulationResult",
+    "run_once",
+    "run_sweep",
+    "Scheduler",
+    "get_scheduler",
+    "register_scheduler",
+    "all_scheduler_names",
+    "CouplingPredictor",
+    "MigrationPolicy",
+    "relative_performance",
+    "relative_ed2",
+    "zone_report",
+]

@@ -1,0 +1,197 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+- ``list`` — show every reproducible table/figure.
+- ``run <name> [<name> ...]`` — regenerate specific artifacts.
+- ``run --all`` / ``run --light`` — regenerate everything / only the
+  analytical artifacts.
+- ``schedulers`` — list the registered scheduling policies.
+- ``sweep`` — run a custom scheduler x load x workload sweep and write
+  the summaries to CSV/JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .core import all_scheduler_names
+from .experiments.registry import (
+    all_experiments,
+    get_experiment,
+)
+
+
+def _cmd_list(_args) -> int:
+    for experiment in all_experiments():
+        kind = "sim " if experiment.heavy else "fast"
+        print(f"{experiment.name:8s} [{kind}] {experiment.title}")
+    return 0
+
+
+def _cmd_schedulers(_args) -> int:
+    for name in all_scheduler_names():
+        print(name)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.all:
+        experiments = all_experiments()
+    elif args.light:
+        experiments = all_experiments(include_heavy=False)
+    else:
+        if not args.names:
+            print(
+                "specify artifact names, or --all / --light",
+                file=sys.stderr,
+            )
+            return 2
+        experiments = [get_experiment(name) for name in args.names]
+    for experiment in experiments:
+        print(f"==> {experiment.name}: {experiment.title}")
+        experiment.main()
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments.report import write_report
+
+    path = write_report(args.out, include_heavy=args.heavy)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .config.presets import scaled
+    from .server.topology import moonshot_sut
+    from .sim.export import save_csv, save_json, sweep_summaries
+    from .sim.runner import run_sweep
+    from .workloads.benchmark import BenchmarkSet
+
+    sets = [BenchmarkSet(name) for name in args.sets]
+    topology = moonshot_sut(n_rows=args.rows)
+    params = scaled(
+        sim_time_s=args.sim_time,
+        warmup_s=min(args.sim_time / 3.0, 8.0),
+        seed=args.seed,
+    )
+    results = run_sweep(
+        topology, params, args.schemes, sets, args.loads
+    )
+    if args.csv:
+        save_csv(results, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        save_json(results, args.json)
+        print(f"wrote {args.json}")
+    if not args.csv and not args.json:
+        for row in sweep_summaries(results):
+            print(
+                f"{row['scheduler']:12s} {row['benchmark_set']:12s} "
+                f"load={row['load']:.2f} "
+                f"expansion={row['mean_runtime_expansion']:.4f} "
+                f"power={row['average_power_w']:.0f}W"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Understanding the Impact of Socket "
+            "Density in Density Optimized Servers' (HPCA 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser(
+        "list", help="list reproducible tables and figures"
+    )
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser(
+        "run", help="regenerate one or more artifacts"
+    )
+    run_parser.add_argument(
+        "names", nargs="*", help="artifact names (e.g. fig14 table2)"
+    )
+    run_parser.add_argument(
+        "--all", action="store_true", help="regenerate everything"
+    )
+    run_parser.add_argument(
+        "--light",
+        action="store_true",
+        help="regenerate only the fast analytical artifacts",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    sched_parser = sub.add_parser(
+        "schedulers", help="list registered scheduling policies"
+    )
+    sched_parser.set_defaults(func=_cmd_schedulers)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a custom sweep and export summaries"
+    )
+    sweep_parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["CF", "CP"],
+        help="scheduler names (see `schedulers`)",
+    )
+    sweep_parser.add_argument(
+        "--sets",
+        nargs="+",
+        default=["Computation"],
+        help="benchmark sets: Computation, GP, Storage",
+    )
+    sweep_parser.add_argument(
+        "--loads",
+        nargs="+",
+        type=float,
+        default=[0.3, 0.7],
+        help="load levels in (0, 1]",
+    )
+    sweep_parser.add_argument(
+        "--rows", type=int, default=3, help="SUT rows (15 = full)"
+    )
+    sweep_parser.add_argument(
+        "--sim-time",
+        type=float,
+        default=16.0,
+        help="scaled horizon, seconds",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument("--csv", help="write summaries to CSV")
+    sweep_parser.add_argument("--json", help="write summaries to JSON")
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    report_parser = sub.add_parser(
+        "report", help="write a full reproduction report (markdown)"
+    )
+    report_parser.add_argument(
+        "--out", default="REPORT.md", help="output path"
+    )
+    report_parser.add_argument(
+        "--heavy",
+        action="store_true",
+        help="also run the simulation-backed artifacts (minutes)",
+    )
+    report_parser.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

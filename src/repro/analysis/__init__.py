@@ -1,0 +1,27 @@
+"""Analytics: the Figure 1 server survey and capacity planning."""
+
+from .survey import (
+    ServerRecord,
+    ServerClass,
+    generate_population,
+    class_statistics,
+    ClassStatistics,
+)
+from .capacity import (
+    DeratingPoint,
+    derating_curve,
+    max_sustainable_utilization,
+    throttle_onset_zone,
+)
+
+__all__ = [
+    "ServerRecord",
+    "ServerClass",
+    "generate_population",
+    "class_statistics",
+    "ClassStatistics",
+    "DeratingPoint",
+    "derating_curve",
+    "max_sustainable_utilization",
+    "throttle_onset_zone",
+]

@@ -1,0 +1,159 @@
+"""Synthetic SPECpower-style server population (paper Figure 1).
+
+The paper analyses 400 published SPECpower_ssj2008 results (2007-2016,
+towers excluded) plus 10 density optimized designs from vendor
+specifications, and reports per-class average power density and socket
+density.  The raw submissions are not redistributable, so we synthesise
+a population whose per-class *means match the paper exactly* (samples
+are normalised after generation) with realistic dispersion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class ServerClass(enum.Enum):
+    """Server form-factor classes used in Figure 1."""
+
+    U1 = "1U"
+    U2 = "2U"
+    OTHER = "Other"
+    BLADE = "Blade"
+    DENSITY_OPT = "DensityOpt"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class _ClassTemplate:
+    count: int
+    power_per_u_w: float
+    sockets_per_u: float
+    dispersion: float
+
+
+#: Per-class targets from Section I: (count, W/U, sockets/U, CoV).
+_TEMPLATES: Dict[ServerClass, _ClassTemplate] = {
+    ServerClass.U1: _ClassTemplate(140, 208.0, 1.79, 0.35),
+    ServerClass.U2: _ClassTemplate(160, 147.0, 1.15, 0.35),
+    ServerClass.OTHER: _ClassTemplate(60, 114.0, 0.78, 0.40),
+    ServerClass.BLADE: _ClassTemplate(40, 421.0, 3.47, 0.30),
+    ServerClass.DENSITY_OPT: _ClassTemplate(10, 588.0, 25.0, 0.25),
+}
+
+#: First and last release years covered by the survey.
+SURVEY_YEARS = (2007, 2016)
+
+
+@dataclass(frozen=True)
+class ServerRecord:
+    """One surveyed server design.
+
+    Attributes:
+        name: Synthetic identifier.
+        server_class: Form-factor class.
+        year: Release year.
+        power_per_u_w: Measured power density, W per rack unit.
+        sockets_per_u: Socket density, sockets per rack unit.
+    """
+
+    name: str
+    server_class: ServerClass
+    year: int
+    power_per_u_w: float
+    sockets_per_u: float
+
+    def __post_init__(self) -> None:
+        if self.power_per_u_w <= 0 or self.sockets_per_u <= 0:
+            raise ConfigurationError(
+                f"{self.name}: densities must be positive"
+            )
+
+
+def generate_population(seed: int = 0) -> List[ServerRecord]:
+    """Generate the full 410-server synthetic survey population.
+
+    Per class, samples are lognormal around the paper's reported mean
+    and then rescaled so the sample mean matches the target exactly.
+    """
+    rng = np.random.default_rng(seed)
+    records: List[ServerRecord] = []
+    for server_class, template in _TEMPLATES.items():
+        sigma = np.sqrt(np.log(1.0 + template.dispersion**2))
+        power = rng.lognormal(
+            mean=np.log(template.power_per_u_w) - sigma**2 / 2,
+            sigma=sigma,
+            size=template.count,
+        )
+        power *= template.power_per_u_w / power.mean()
+        sockets = rng.lognormal(
+            mean=np.log(template.sockets_per_u) - sigma**2 / 2,
+            sigma=sigma,
+            size=template.count,
+        )
+        sockets *= template.sockets_per_u / sockets.mean()
+        years = rng.integers(
+            SURVEY_YEARS[0], SURVEY_YEARS[1] + 1, size=template.count
+        )
+        for i in range(template.count):
+            records.append(
+                ServerRecord(
+                    name=f"{server_class.value}-{i:03d}",
+                    server_class=server_class,
+                    year=int(years[i]),
+                    power_per_u_w=float(power[i]),
+                    sockets_per_u=float(sockets[i]),
+                )
+            )
+    return records
+
+
+@dataclass(frozen=True)
+class ClassStatistics:
+    """Aggregate densities of one server class (a Figure 1 bar pair).
+
+    Attributes:
+        server_class: The class summarised.
+        count: Number of designs.
+        mean_power_per_u_w: Average power density, W/U.
+        mean_sockets_per_u: Average socket density, sockets/U.
+    """
+
+    server_class: ServerClass
+    count: int
+    mean_power_per_u_w: float
+    mean_sockets_per_u: float
+
+
+def class_statistics(
+    population: Sequence[ServerRecord],
+) -> Dict[ServerClass, ClassStatistics]:
+    """Per-class mean densities — the two panels of Figure 1."""
+    if not population:
+        raise ConfigurationError("population is empty")
+    stats: Dict[ServerClass, ClassStatistics] = {}
+    for server_class in ServerClass:
+        members = [
+            r for r in population if r.server_class == server_class
+        ]
+        if not members:
+            continue
+        stats[server_class] = ClassStatistics(
+            server_class=server_class,
+            count=len(members),
+            mean_power_per_u_w=float(
+                np.mean([r.power_per_u_w for r in members])
+            ),
+            mean_sockets_per_u=float(
+                np.mean([r.sockets_per_u for r in members])
+            ),
+        )
+    return stats

@@ -1,0 +1,12 @@
+"""Simulation configuration: Table III parameters and run presets."""
+
+from .parameters import SimulationParameters, TABLE_III_ROWS
+from .presets import paper_faithful, scaled, smoke
+
+__all__ = [
+    "SimulationParameters",
+    "TABLE_III_ROWS",
+    "paper_faithful",
+    "scaled",
+    "smoke",
+]

@@ -1,0 +1,147 @@
+"""Simulation parameters (paper Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """Every tunable of the overall simulation model.
+
+    Defaults reproduce Table III of the paper.  Scaled presets shrink the
+    horizon, thermal time constant and job count for tractable pure-
+    Python runs while preserving the regime (job duration << socket
+    thermal time constant << simulated horizon).
+
+    Attributes:
+        temperature_limit_c: DVFS temperature limit, degC.
+        power_manager_interval_s: Frequency change interval (the power
+            manager period), seconds.
+        chip_tau_s: On-chip thermal time constant, seconds.
+        socket_tau_s: Socket (heat-sink mass) thermal time constant,
+            seconds.
+        inlet_c: Server inlet air temperature, degC.
+        socket_airflow_cfm: Airflow over each socket, CFM.
+        r_int: Chip internal thermal resistance, degC/W.
+        sim_time_s: Simulated horizon, seconds.
+        warmup_s: Initial span excluded from every metric, seconds.
+        duration_scale: Job duration multiplier (load-preserving).
+        seed: Base RNG seed for arrivals and randomized policies.
+        history_tau_s: Smoothing constant of the historical-temperature
+            tracker used by the A-Random policy, seconds.
+        boost_chip_temp_limit_c: Boost governor threshold, degC.  The
+            1700/1900 MHz states are opportunistic boost states; per the
+            BKDG a fully loaded socket is only expected to *sustain* the
+            highest non-boost state (1500 MHz), so boost is granted only
+            while the predicted chip temperature stays under this
+            threshold.  45 degC is calibrated so a continuously busy
+            Computation socket breathing inlet air settles into a
+            1500 MHz + opportunistic-boost duty cycle.
+        warm_start: Initialise the thermal field at the load-consistent
+            steady state instead of uniform inlet temperature.  The
+            coupled sink chain settles stage by stage (~3 sink time
+            constants per chain position), which the paper's 30-minute
+            horizon absorbs but scaled runs cannot; warm starting plus
+            the warm-up window recovers the converged regime.
+    """
+
+    temperature_limit_c: float = 95.0
+    power_manager_interval_s: float = 0.001
+    chip_tau_s: float = 0.005
+    socket_tau_s: float = 30.0
+    inlet_c: float = 18.0
+    socket_airflow_cfm: float = 6.35
+    r_int: float = 0.205
+    sim_time_s: float = 1800.0
+    warmup_s: float = 60.0
+    duration_scale: float = 1.0
+    seed: int = 0
+    history_tau_s: float = 5.0
+    boost_chip_temp_limit_c: float = 45.0
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        # A boost threshold at or below the inlet is legitimate: it
+        # means boost is never grantable (e.g. hot-aisle derating
+        # studies or the no-boost ablation).
+        if self.boost_chip_temp_limit_c <= 0:
+            raise ConfigurationError(
+                "boost governor threshold must be positive"
+            )
+        if self.temperature_limit_c <= self.inlet_c:
+            raise ConfigurationError(
+                "temperature limit must exceed the inlet temperature"
+            )
+        if self.power_manager_interval_s <= 0:
+            raise ConfigurationError(
+                "power manager interval must be positive"
+            )
+        if self.chip_tau_s <= 0 or self.socket_tau_s <= 0:
+            raise ConfigurationError("time constants must be positive")
+        if self.socket_airflow_cfm <= 0:
+            raise ConfigurationError("socket airflow must be positive")
+        if self.r_int <= 0:
+            raise ConfigurationError("r_int must be positive")
+        if self.sim_time_s <= 0:
+            raise ConfigurationError("simulation time must be positive")
+        if not 0 <= self.warmup_s < self.sim_time_s:
+            raise ConfigurationError(
+                "warmup must be non-negative and below the horizon"
+            )
+        if self.duration_scale <= 0:
+            raise ConfigurationError("duration scale must be positive")
+        if self.history_tau_s <= 0:
+            raise ConfigurationError("history tau must be positive")
+
+    def with_overrides(self, **kwargs) -> "SimulationParameters":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def measured_span_s(self) -> float:
+        """Length of the measurement window, seconds."""
+        return self.sim_time_s - self.warmup_s
+
+
+#: Human-readable reproduction of Table III for the given parameters.
+def table_iii_rows(
+    params: "SimulationParameters" = SimulationParameters(),
+) -> List[Tuple[str, str]]:
+    """Render Table III as (parameter, value) rows."""
+    return [
+        ("Temperature limit", f"{params.temperature_limit_c:g} C"),
+        (
+            "Frequency change interval",
+            f"{params.power_manager_interval_s * 1000:g} msec",
+        ),
+        (
+            "On-chip thermal time constant",
+            f"{params.chip_tau_s * 1000:g} msec",
+        ),
+        (
+            "Socket thermal time constant",
+            f"{params.socket_tau_s:g} seconds",
+        ),
+        ("Server inlet temperature", f"{params.inlet_c:g} C"),
+        ("Airflow at sockets", f"{params.socket_airflow_cfm:g} CFM"),
+        ("R_Int", f"{params.r_int:g} Celsius/Watt"),
+        ("R_Ext 18-fin", "1.578 Celsius/Watt"),
+        ("R_Ext 30-fin", "1.056 Celsius/Watt"),
+        ("theta(Power, 18-fin)", "4.41 - Power x 0.0896"),
+        ("theta(Power, 30-fin)", "4.45 - Power x 0.0916"),
+        ("Frequency", "1900MHz - 1100MHz"),
+        (
+            "Power management",
+            "Highest frequency allowed under "
+            f"{params.temperature_limit_c:g} C",
+        ),
+        ("Simulation time", f"{params.sim_time_s:g} seconds"),
+    ]
+
+
+#: Table III rendered with the paper-faithful defaults.
+TABLE_III_ROWS = table_iii_rows()

@@ -1,0 +1,54 @@
+"""Scheduling policies — the paper's core contribution and every baseline.
+
+Data-center-level baselines: Coolest First (CF), Hottest First (HF),
+Random, and MinHR (heat-recirculation minimisation).  Chip-level
+baselines: Coolest Neighbors (CN), Balanced, Balanced Locations
+(Balanced-L), Adaptive-Random (A-Random), and Predictive.  The proposed
+scheme is :class:`CouplingPredictor` (CP), which extends Predictive with
+an explicit model of the performance lost by downwind sockets.
+
+Every policy implements :class:`Scheduler` and is discoverable through
+:func:`get_scheduler` / :data:`SCHEDULER_NAMES`.
+"""
+
+from .base import (
+    Scheduler,
+    get_scheduler,
+    register_scheduler,
+    SCHEDULER_NAMES,
+    all_scheduler_names,
+)
+from .classical import FirstFit, LeastRecentlyUsed, RoundRobin
+from .coolest_first import CoolestFirst, HottestFirst
+from .random_policy import RandomPolicy, AdaptiveRandom
+from .min_hr import MinHR
+from .neighbors import CoolestNeighbors
+from .balanced import Balanced, BalancedLocations
+from .predictive import Predictive
+from .coupling_predictor import CouplingPredictor
+from .migration import MigrationPolicy
+from .prediction import predict_job_frequency, predict_downwind_slowdown
+
+__all__ = [
+    "Scheduler",
+    "get_scheduler",
+    "register_scheduler",
+    "SCHEDULER_NAMES",
+    "all_scheduler_names",
+    "FirstFit",
+    "RoundRobin",
+    "LeastRecentlyUsed",
+    "CoolestFirst",
+    "HottestFirst",
+    "RandomPolicy",
+    "AdaptiveRandom",
+    "MinHR",
+    "CoolestNeighbors",
+    "Balanced",
+    "BalancedLocations",
+    "Predictive",
+    "CouplingPredictor",
+    "MigrationPolicy",
+    "predict_job_frequency",
+    "predict_downwind_slowdown",
+]

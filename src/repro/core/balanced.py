@@ -1,0 +1,56 @@
+"""Balanced and Balanced Locations (Balanced-L) policies.
+
+Balanced (Coskun et al.) flattens the temperature profile by scheduling
+work as far as possible from the current hot spot.  Balanced-L prefers
+locations that are structurally cool — on a die, the edges; in a dense
+server, the sockets nearest the air inlet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Scheduler, register_scheduler
+
+
+@register_scheduler
+class Balanced(Scheduler):
+    """Schedule farthest from the hottest socket in the server."""
+
+    name = "Balanced"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._positions: np.ndarray = np.zeros((0, 3))
+
+    def reset(self, state, rng) -> None:
+        super().reset(state, rng)
+        topology = state.topology
+        self._positions = np.stack(
+            [topology.x_array, topology.y_array, topology.z_array], axis=1
+        )
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        hottest = int(np.argmax(state.chip_c))
+        deltas = self._positions[idle_ids] - self._positions[hottest]
+        distances = np.sqrt((deltas**2).sum(axis=1))
+        return int(idle_ids[int(np.argmax(distances))])
+
+
+@register_scheduler
+class BalancedLocations(Scheduler):
+    """Prefer the sockets closest to the air inlet (coolest locations).
+
+    Ties (sockets at the same distance from the inlet) break toward the
+    cooler chip.
+    """
+
+    name = "Balanced-L"
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        x = state.topology.x_array[idle_ids]
+        # Chip temperature only breaks ties between equal-x sockets.
+        score = x + 1e-4 * state.chip_c[idle_ids]
+        return int(idle_ids[int(np.argmin(score))])

@@ -1,0 +1,116 @@
+"""Scheduler interface and registry."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.state import SimulationState
+    from ..workloads.job import Job
+
+
+class Scheduler(abc.ABC):
+    """A job placement policy.
+
+    The engine calls :meth:`reset` once per run and then
+    :meth:`select_socket` for every placement decision.  Policies must
+    be deterministic given the RNG handed to :meth:`reset`, and must
+    treat the simulation state as read-only.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.rng: np.random.Generator = np.random.default_rng(0)
+
+    def reset(
+        self, state: "SimulationState", rng: np.random.Generator
+    ) -> None:
+        """Prepare for a fresh run (precompute topology-derived data)."""
+        self.rng = rng
+
+    @abc.abstractmethod
+    def select_socket(
+        self,
+        job: "Job",
+        idle_ids: np.ndarray,
+        state: "SimulationState",
+    ) -> int:
+        """Choose one of ``idle_ids`` for ``job``.
+
+        Args:
+            job: The job to place.
+            idle_ids: Indices of currently idle sockets (non-empty).
+            state: Read-only simulation state.
+
+        Returns:
+            The chosen socket index (must come from ``idle_ids``).
+        """
+
+    def _require_candidates(self, idle_ids: np.ndarray) -> None:
+        if idle_ids.size == 0:
+            raise SchedulingError(
+                f"{self.name}: asked to schedule with no idle socket"
+            )
+
+
+#: Registered scheduler factories by name.
+_REGISTRY: Dict[str, Callable[[], Scheduler]] = {}
+
+
+def register_scheduler(cls):
+    """Class decorator adding a Scheduler subclass to the registry."""
+    if not issubclass(cls, Scheduler):
+        raise SchedulingError(
+            f"{cls.__name__} does not subclass Scheduler"
+        )
+    if cls.name in _REGISTRY:
+        raise SchedulingError(
+            f"duplicate scheduler name {cls.name!r}"
+        )
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate a registered scheduler by name.
+
+    Raises:
+        SchedulingError: for unknown names.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SchedulingError(
+            f"unknown scheduler {name!r}; known: {known}"
+        ) from exc
+    return factory()
+
+
+def all_scheduler_names() -> List[str]:
+    """Every registered scheduler name, sorted."""
+    return sorted(_REGISTRY)
+
+
+class _SchedulerNames:
+    """Lazy live view over the registry (import-order independent)."""
+
+    def __iter__(self):
+        return iter(all_scheduler_names())
+
+    def __contains__(self, name: str) -> bool:
+        return name in _REGISTRY
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+
+#: Iterable of every registered scheduler name.
+SCHEDULER_NAMES = _SchedulerNames()

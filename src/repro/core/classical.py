@@ -1,0 +1,75 @@
+"""Classical thermally-oblivious baselines.
+
+These are not evaluated in the paper, but any scheduler study needs the
+plain-OS baselines to contextualise the temperature-aware policies:
+
+- :class:`FirstFit` — the lowest-numbered idle socket (what a naive
+  bitmap allocator does);
+- :class:`RoundRobin` — rotate through sockets, the default spreading
+  behaviour of most cluster schedulers;
+- :class:`LeastRecentlyUsed` — place on the socket idle the longest,
+  a freshness heuristic that approximates CF without any sensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Scheduler, register_scheduler
+
+
+@register_scheduler
+class FirstFit(Scheduler):
+    """Always the lowest-numbered idle socket."""
+
+    name = "FirstFit"
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        return int(idle_ids.min())
+
+
+@register_scheduler
+class RoundRobin(Scheduler):
+    """Rotate through socket numbers, skipping busy sockets."""
+
+    name = "RoundRobin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def reset(self, state, rng) -> None:
+        super().reset(state, rng)
+        self._next = 0
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        # First idle socket at or after the rotation pointer.
+        candidates = idle_ids[idle_ids >= self._next]
+        chosen = int(
+            candidates.min() if candidates.size else idle_ids.min()
+        )
+        self._next = (chosen + 1) % state.n_sockets
+        return chosen
+
+
+@register_scheduler
+class LeastRecentlyUsed(Scheduler):
+    """The socket that has been idle the longest."""
+
+    name = "LRU"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_used: np.ndarray = np.zeros(0)
+
+    def reset(self, state, rng) -> None:
+        super().reset(state, rng)
+        self._last_used = np.full(state.n_sockets, -np.inf)
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        chosen = int(idle_ids[int(np.argmin(self._last_used[idle_ids]))])
+        self._last_used[chosen] = state.time_s
+        return chosen

@@ -1,0 +1,38 @@
+"""Coolest First (CF) and Hottest First (HF) policies.
+
+CF is the classic data-center temperature-aware baseline: place work on
+the coldest available compute element, adding heat where it is coolest.
+HF is the deliberate inverse — the paper shows it *wins* on thermally
+coupled systems at high load, because loading downstream sockets (which
+have no downwind victims) keeps upstream air cool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Scheduler, register_scheduler
+
+
+@register_scheduler
+class CoolestFirst(Scheduler):
+    """Schedule on the idle socket with the lowest chip temperature."""
+
+    name = "CF"
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        temps = state.chip_c[idle_ids]
+        return int(idle_ids[int(np.argmin(temps))])
+
+
+@register_scheduler
+class HottestFirst(Scheduler):
+    """Schedule on the idle socket with the highest chip temperature."""
+
+    name = "HF"
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        temps = state.chip_c[idle_ids]
+        return int(idle_ids[int(np.argmax(temps))])

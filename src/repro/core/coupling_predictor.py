@@ -1,0 +1,87 @@
+"""CouplingPredictor (CP) — the paper's proposed policy.
+
+CP extends Predictive with an explicit account of inter-socket thermal
+coupling.  For every candidate socket it predicts (a) the frequency the
+job would achieve there and (b) the total frequency the sockets downwind
+of the candidate would *lose* because of the added heat, and places the
+job where the net benefit is largest.  Given a socket that runs the job
+at 1700 MHz but costs two downstream sockets 300 MHz combined, and one
+that runs it at 1600 MHz costing nothing, CP picks the second.
+
+Mechanics (Section IV-C): at each decision the scheduler picks a row of
+cartridges with idle sockets at random and evaluates only the candidates
+within that row — keeping the scheduler cheap — using Equation 1 with
+one leakage-compensation pass and a table lookup into the offline
+coupling map for downwind entry temperatures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Scheduler, register_scheduler
+from .prediction import (
+    predict_downwind_slowdown,
+    predict_job_frequency,
+    predicted_job_power,
+)
+from .predictive import SINK_TIEBREAK_WEIGHT
+
+
+@register_scheduler
+class CouplingPredictor(Scheduler):
+    """Net-benefit placement: own speed minus downwind slowdown."""
+
+    name = "CP"
+
+    def __init__(
+        self,
+        row_restricted: bool = True,
+        coupling_aware: bool = True,
+    ) -> None:
+        """Create a CP scheduler.
+
+        Args:
+            row_restricted: Evaluate candidates only within one randomly
+                chosen row per decision (the paper's cost-saving
+                mechanic).  Disabled, CP searches every idle socket.
+            coupling_aware: Include the downwind-slowdown term.  With it
+                disabled CP degenerates to row-restricted Predictive
+                (used by the ablation benches).
+        """
+        super().__init__()
+        self.row_restricted = row_restricted
+        self.coupling_aware = coupling_aware
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        candidates = self._candidate_pool(idle_ids, state)
+        freq = predict_job_frequency(state, candidates, job)
+        scores = np.empty(candidates.shape, dtype=float)
+        topology = state.topology
+        for i, (socket, f_mhz) in enumerate(zip(candidates, freq)):
+            socket = int(socket)
+            power = predicted_job_power(state, socket, job, float(f_mhz))
+            slowdown = 0.0
+            if self.coupling_aware:
+                slowdown = predict_downwind_slowdown(state, socket, power)
+            sink_ss = (
+                state.ambient_c[socket]
+                + power * topology.r_ext_array[socket]
+            )
+            scores[i] = (
+                float(f_mhz)
+                - slowdown
+                - SINK_TIEBREAK_WEIGHT
+                * (sink_ss + float(state.sink_c[socket]))
+            )
+        return int(candidates[int(np.argmax(scores))])
+
+    def _candidate_pool(self, idle_ids, state) -> np.ndarray:
+        """Idle sockets of one random row, or all idle sockets."""
+        if not self.row_restricted:
+            return idle_ids
+        rows = state.topology.row_array[idle_ids]
+        unique_rows = np.unique(rows)
+        chosen = unique_rows[self.rng.integers(0, unique_rows.size)]
+        return idle_ids[rows == chosen]

@@ -1,0 +1,44 @@
+"""Recirculation Minimize Heat (MinHR) policy.
+
+MinHR (Moore et al.) measures, offline, how much heat each compute
+location recirculates onto the rest of the facility and then assigns
+jobs to the locations that disturb others least.  In a dense server the
+offline measurement is the coupling calibration: a socket's *heat
+recirculation factor* is the sum of its coupling weights onto every
+downwind socket.  At run time the policy picks the idle socket with the
+smallest factor — which orders sockets back-to-front, since the most
+downstream socket heats nobody.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Scheduler, register_scheduler
+
+
+@register_scheduler
+class MinHR(Scheduler):
+    """Least heat-recirculation placement using the offline coupling map."""
+
+    name = "MinHR"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._hr_factor: np.ndarray = np.zeros(0)
+
+    def reset(self, state, rng) -> None:
+        super().reset(state, rng)
+        coupling = state.topology.coupling
+        self._hr_factor = np.array(
+            [
+                coupling.total_influence(socket)
+                for socket in range(state.n_sockets)
+            ]
+        )
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        factors = self._hr_factor[idle_ids]
+        minimal = idle_ids[factors <= factors.min() + 1e-12]
+        return int(self.rng.choice(minimal))

@@ -1,0 +1,69 @@
+"""Coolest Neighbors (CN) policy.
+
+CN (Coskun et al.) is a chip-level CF variant that scores each location
+by its own temperature *and* its physical neighbours' temperatures,
+capturing lateral heat transfer on a die.  Applied to a dense server,
+neighbours are the physically adjacent sockets: the previous/next chain
+position in the same lane, the other lane at the same position, and the
+same position in the rows above and below.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .base import Scheduler, register_scheduler
+
+
+def _build_neighbor_lists(topology) -> List[np.ndarray]:
+    """Adjacent-socket indices for every socket."""
+    index = {}
+    for site in topology.sites:
+        index[(site.row, site.lane, site.chain_pos)] = site.socket_id
+    neighbors: List[np.ndarray] = []
+    for site in topology.sites:
+        candidates = [
+            (site.row, site.lane, site.chain_pos - 1),
+            (site.row, site.lane, site.chain_pos + 1),
+            (site.row, site.lane - 1, site.chain_pos),
+            (site.row, site.lane + 1, site.chain_pos),
+            (site.row - 1, site.lane, site.chain_pos),
+            (site.row + 1, site.lane, site.chain_pos),
+        ]
+        found = [index[key] for key in candidates if key in index]
+        neighbors.append(np.asarray(found, dtype=int))
+    return neighbors
+
+
+@register_scheduler
+class CoolestNeighbors(Scheduler):
+    """Minimise own temperature plus mean neighbour temperature."""
+
+    name = "CN"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._neighbors: List[np.ndarray] = []
+
+    def reset(self, state, rng) -> None:
+        super().reset(state, rng)
+        self._neighbors = _build_neighbor_lists(state.topology)
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        chip = state.chip_c
+        best_socket = int(idle_ids[0])
+        best_score = np.inf
+        for socket_id in idle_ids:
+            neighbor_ids = self._neighbors[socket_id]
+            if neighbor_ids.size:
+                neighbor_term = float(chip[neighbor_ids].mean())
+            else:
+                neighbor_term = float(chip[socket_id])
+            score = 0.5 * float(chip[socket_id]) + 0.5 * neighbor_term
+            if score < best_score:
+                best_score = score
+                best_socket = int(socket_id)
+        return best_socket

@@ -1,0 +1,132 @@
+"""Frequency prediction helpers shared by Predictive and CP.
+
+Both policies follow the mechanics of Section IV-C: assume the job is
+placed on a candidate socket, estimate the chip temperature with
+Equation 1, compensate leakage once, and find the highest DVFS state
+that respects the temperature limit (and the boost governor).  The same
+machinery, pointed at a downwind socket with its entry temperature
+shifted by the coupling weight, predicts how much that socket would slow
+down.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..sim.power_manager import (
+    dynamic_power,
+    select_frequencies,
+    select_frequencies_steady,
+)
+from ..workloads.benchmark import profile_for
+from ..workloads.power_model import LEAKAGE_TDP_FRACTION, leakage_power
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.state import SimulationState
+    from ..workloads.job import Job
+
+
+def predict_job_frequency(
+    state: "SimulationState",
+    socket_ids: np.ndarray,
+    job: "Job",
+    sink_c: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Predicted frequency (MHz) ``job`` would get on each candidate.
+
+    Args:
+        state: Simulation state.
+        socket_ids: Candidate socket indices.
+        job: The job being placed.
+        sink_c: Optional override of candidate sink temperatures (used
+            for what-if analyses); defaults to current sink state.
+
+    Returns:
+        Array of predicted MHz, aligned with ``socket_ids``.
+    """
+    topology = state.topology
+    ids = np.asarray(socket_ids)
+    tdp = topology.tdp_array[ids]
+    profile = profile_for(job.app.benchmark_set)
+    dyn_max = job.app.power_at_max_w - LEAKAGE_TDP_FRACTION * tdp
+    dyn_exp = np.full(ids.shape, profile.dynamic_exponent)
+    return select_frequencies(
+        sink_c=state.sink_c[ids] if sink_c is None else sink_c,
+        chip_c=state.chip_c[ids],
+        dyn_max_w=dyn_max,
+        dyn_exp=dyn_exp,
+        tdp_w=tdp,
+        theta_offset=topology.theta_offset_array[ids],
+        theta_slope=topology.theta_slope_array[ids],
+        ladder=state.ladder,
+        params=state.params,
+    )
+
+
+def predicted_job_power(
+    state: "SimulationState", socket_id: int, job: "Job", freq_mhz: float
+) -> float:
+    """Power the job would draw on a socket at the predicted frequency."""
+    tdp = float(state.topology.tdp_array[socket_id])
+    profile = profile_for(job.app.benchmark_set)
+    dyn_max = job.app.power_at_max_w - LEAKAGE_TDP_FRACTION * tdp
+    dyn = dynamic_power(
+        freq_mhz, dyn_max, profile.dynamic_exponent, state.ladder.max_mhz
+    )
+    leak = leakage_power(float(state.chip_c[socket_id]), tdp)
+    return float(dyn) + float(leak)
+
+
+def predict_downwind_slowdown(
+    state: "SimulationState", candidate: int, job_power_w: float
+) -> float:
+    """Total predicted frequency loss (MHz) across downwind sockets.
+
+    Assumes the downwind sockets keep running their current jobs while
+    the candidate's heat output settles at ``job_power_w`` instead of
+    the gated idle draw it would decay to if left alone; their entry
+    air warms by the coupling weight times that difference, their sinks
+    eventually follow, and their achievable frequency drops accordingly.
+    Idle downwind sockets contribute nothing (they are gated and their
+    future work is unknown).
+    """
+    topology = state.topology
+    coupling = topology.coupling
+    downwind = coupling.downwind_of(candidate)
+    if downwind.size == 0:
+        return 0.0
+    busy_down = downwind[state.busy[downwind]]
+    if busy_down.size == 0:
+        return 0.0
+
+    heat_delta = job_power_w - float(
+        topology.gated_power_array[candidate]
+    )
+    weights = np.array(
+        [coupling.influence_on(int(d), candidate) for d in busy_down]
+    )
+    ambient_delta = weights * heat_delta
+
+    common = dict(
+        chip_c=state.chip_c[busy_down],
+        dyn_max_w=state.dyn_max_w[busy_down],
+        dyn_exp=state.dyn_exp[busy_down],
+        tdp_w=topology.tdp_array[busy_down],
+        r_ext=topology.r_ext_array[busy_down],
+        theta_offset=topology.theta_offset_array[busy_down],
+        theta_slope=topology.theta_slope_array[busy_down],
+        ladder=state.ladder,
+        params=state.params,
+    )
+    freq_now = select_frequencies_steady(
+        ambient_c=state.ambient_c[busy_down], **common
+    )
+    freq_later = select_frequencies_steady(
+        ambient_c=state.ambient_c[busy_down] + ambient_delta, **common
+    )
+    losses = np.maximum(freq_now - freq_later, 0.0)
+    # A predicted loss only materialises while the victim keeps running
+    # work; weight by its observed utilisation.
+    return float((losses * state.busy_ema[busy_down]).sum())

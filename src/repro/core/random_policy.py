@@ -1,0 +1,47 @@
+"""Random and Adaptive-Random policies.
+
+Random approximates uniform power dissipation by spreading jobs evenly.
+Adaptive-Random (Coskun et al.) refines CF with temperature *history*:
+among the currently coolest sockets it keeps only those that have also
+been historically cool, then picks randomly — weeding out locations that
+are persistently hot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Scheduler, register_scheduler
+
+#: Sockets within this many degC of the minimum count as "coolest".
+TEMPERATURE_BAND_C = 1.0
+
+
+@register_scheduler
+class RandomPolicy(Scheduler):
+    """Uniformly random placement over idle sockets."""
+
+    name = "Random"
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        return int(self.rng.choice(idle_ids))
+
+
+@register_scheduler
+class AdaptiveRandom(Scheduler):
+    """Random choice among currently and historically cool sockets."""
+
+    name = "A-Random"
+
+    def __init__(self, band_c: float = TEMPERATURE_BAND_C) -> None:
+        super().__init__()
+        self.band_c = band_c
+
+    def select_socket(self, job, idle_ids, state) -> int:
+        self._require_candidates(idle_ids)
+        current = state.chip_c[idle_ids]
+        cool_now = idle_ids[current <= current.min() + self.band_c]
+        history = state.history_c[cool_now]
+        cool_history = cool_now[history <= history.min() + self.band_c]
+        return int(self.rng.choice(cool_history))

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class.  Specific subclasses signal the
+subsystem that rejected the input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or model parameter is invalid or inconsistent."""
+
+
+class TopologyError(ReproError):
+    """A server topology was constructed with impossible geometry."""
+
+
+class ThermalModelError(ReproError):
+    """A thermal model received physically meaningless input."""
+
+
+class WorkloadError(ReproError):
+    """A workload or job description is invalid."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler was asked to make an impossible decision."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""

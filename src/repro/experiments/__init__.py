@@ -1,0 +1,35 @@
+"""Experiment harness: one module per paper table and figure.
+
+Every experiment module exposes a ``run(...)`` function returning a
+structured result (rows/series mirroring what the paper reports) and a
+``main()`` that prints it.  Heavy simulation experiments accept a
+:class:`repro.experiments.common.ExperimentConfig` controlling scale;
+the default is a scaled-down configuration that preserves the paper's
+regime (see DESIGN.md section 3).
+
+Index:
+
+========  =============================================  ==========================
+Artifact  What it shows                                  Module
+========  =============================================  ==========================
+Fig. 1    Power and socket density per server class      fig01_survey
+Fig. 2    Cartridge air / chip temperature profile       fig02_cartridge_thermals
+Fig. 3    CF vs HF on coupled / uncoupled 2-socket       fig03_motivation
+Fig. 5    Entry temperature vs degree of coupling        fig05_entry_temperature
+Fig. 6    Job duration statistics per benchmark set      fig06_job_durations
+Fig. 7    Power and performance vs frequency             fig07_power_performance
+Fig. 9    Heat-sink thermals / hot-cold spreads          fig09_heatsinks
+Fig. 10   Simplified model validation (within 2 degC)    fig10_model_validation
+Fig. 11   Existing schemes at 30% / 70% load             fig11_existing_schemes
+Fig. 13   Zone frequency / work-done split               fig13_zone_behavior
+Fig. 14   Performance vs CF, all schemes x loads x sets  fig14_performance
+Fig. 15   ED^2 vs CF                                     fig15_ed2
+Table I   Density optimized system catalog               table1_catalog
+Table II  Airflow requirements per server class          table2_airflow
+Table III Simulation parameters                          table3_parameters
+========  =============================================  ==========================
+"""
+
+from .common import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

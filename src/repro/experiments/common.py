@@ -1,0 +1,99 @@
+"""Shared configuration for simulation-backed experiments."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from ..config.parameters import SimulationParameters
+from ..config.presets import scaled
+from ..errors import ConfigurationError
+from ..server.topology import ServerTopology, moonshot_sut
+from ..workloads.benchmark import BenchmarkSet
+
+#: Environment variable overriding the number of SUT rows.
+ENV_ROWS = "REPRO_ROWS"
+
+#: Environment variable overriding the simulated horizon (seconds).
+ENV_SIM_TIME = "REPRO_SIM_TIME"
+
+
+@dataclass
+class ExperimentConfig:
+    """Scale knobs for the simulation experiments.
+
+    The defaults give a scaled-down SUT (3 of 15 rows, 36 sockets) and a
+    16-second scaled horizon — enough to reproduce every qualitative
+    result in minutes on a laptop.  Set the ``REPRO_ROWS`` /
+    ``REPRO_SIM_TIME`` environment variables (or pass explicit values)
+    to approach the paper's full 180-socket, 30-minute configuration.
+
+    Attributes:
+        n_rows: SUT rows (the paper uses 15).
+        sim_time_s: Simulated horizon, seconds.
+        warmup_s: Warm-up excluded from metrics, seconds.
+        seed: Workload seed.
+        loads: Load levels for sweep experiments.
+        benchmark_sets: Benchmark sets for sweep experiments.
+    """
+
+    n_rows: int = 3
+    sim_time_s: float = 16.0
+    warmup_s: float = 6.0
+    seed: int = 0
+    loads: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9)
+    benchmark_sets: Sequence[BenchmarkSet] = (
+        BenchmarkSet.COMPUTATION,
+        BenchmarkSet.GENERAL_PURPOSE,
+        BenchmarkSet.STORAGE,
+    )
+
+    def __post_init__(self) -> None:
+        env_rows = os.environ.get(ENV_ROWS)
+        if env_rows:
+            self.n_rows = int(env_rows)
+        env_time = os.environ.get(ENV_SIM_TIME)
+        if env_time:
+            self.sim_time_s = float(env_time)
+            self.warmup_s = min(self.warmup_s, self.sim_time_s / 3.0)
+        if self.n_rows < 1:
+            raise ConfigurationError("n_rows must be >= 1")
+        if not 0 < self.warmup_s < self.sim_time_s:
+            raise ConfigurationError(
+                "warmup must be positive and below the horizon"
+            )
+
+    def topology(self, **kwargs) -> ServerTopology:
+        """The (possibly scaled-down) Moonshot SUT."""
+        return moonshot_sut(n_rows=self.n_rows, **kwargs)
+
+    def parameters(self) -> SimulationParameters:
+        """Scaled simulation parameters for this configuration."""
+        return scaled(
+            sim_time_s=self.sim_time_s,
+            warmup_s=self.warmup_s,
+            seed=self.seed,
+        )
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an ASCII table for experiment ``main()`` output."""
+    columns = [
+        [str(h)] + [str(row[i]) for row in rows]
+        for i, h in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header_line = "  ".join(
+        h.ljust(w) for h, w in zip([str(h) for h in headers], widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Figure 1: power per 1U and sockets per 1U across server classes.
+
+Expected shape: power density rises 1U < 2U reversed — specifically
+Other < 2U < 1U < Blade < DensityOpt for both metrics, with density
+optimized servers near 588 W/U and ~25 sockets/U (a ~50% power and ~6x
+socket density step over blades).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis.survey import (
+    ClassStatistics,
+    ServerClass,
+    class_statistics,
+    generate_population,
+)
+from .common import format_table
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Per-class density statistics (the two bar charts of Figure 1).
+
+    Attributes:
+        stats: Class statistics keyed by server class.
+    """
+
+    stats: Dict[ServerClass, ClassStatistics]
+
+    def rows(self) -> List[List[object]]:
+        """Table rows: class, count, W/U, sockets/U."""
+        return [
+            [
+                s.server_class.value,
+                s.count,
+                round(s.mean_power_per_u_w, 1),
+                round(s.mean_sockets_per_u, 2),
+            ]
+            for s in self.stats.values()
+        ]
+
+
+def run(seed: int = 0) -> Figure1Result:
+    """Generate the survey population and compute Figure 1."""
+    population = generate_population(seed)
+    return Figure1Result(stats=class_statistics(population))
+
+
+def main() -> None:
+    """Print Figure 1 as a table."""
+    result = run()
+    print("Figure 1: server density survey (410 designs)")
+    print(
+        format_table(
+            ["Class", "Count", "Power/U (W)", "Sockets/U"], result.rows()
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

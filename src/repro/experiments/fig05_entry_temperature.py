@@ -1,0 +1,88 @@
+"""Figure 5: mean socket entry temperature and its CoV vs coupling degree.
+
+Expected shape: both the mean entry temperature and the coefficient of
+variation rise monotonically with the degree of coupling; higher socket
+power and lower airflow shift the curves up.  The paper's example: a
+15 W part at 6 CFM shows roughly a 10 degC mean entry temperature
+difference between degree 5 and degree 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..thermal.analytical import DEFAULT_INLET_C, EntryTemperatureModel
+from .common import format_table
+
+#: Degrees of coupling spanned by Table I systems.
+DEFAULT_DEGREES: Tuple[int, ...] = (1, 2, 3, 5, 7, 9, 11)
+
+#: Socket power levels, W (Table I spans 5 W to 140 W).
+DEFAULT_POWERS: Tuple[float, ...] = (5.0, 15.0, 45.0, 140.0)
+
+#: Per-socket airflow levels, CFM.
+DEFAULT_AIRFLOWS: Tuple[float, ...] = (6.0, 12.0, 24.0)
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Analytical design-space sweep.
+
+    Attributes:
+        points: One dict per (degree, power, airflow) design point with
+            ``mean_entry_c``, ``cov`` and ``max_entry_c``.
+        inlet_c: Inlet temperature used.
+    """
+
+    points: Tuple[dict, ...]
+    inlet_c: float
+
+    def series(
+        self, power_w: float, airflow_cfm: float
+    ) -> List[Tuple[int, float, float]]:
+        """(degree, mean entry, cov) curve for one power/airflow pair."""
+        return [
+            (p["degree"], p["mean_entry_c"], p["cov"])
+            for p in self.points
+            if p["power_w"] == power_w and p["airflow_cfm"] == airflow_cfm
+        ]
+
+    def mean_entry_delta(
+        self, power_w: float, airflow_cfm: float, low: int, high: int
+    ) -> float:
+        """Mean entry temperature difference between two degrees."""
+        curve = {d: m for d, m, _ in self.series(power_w, airflow_cfm)}
+        return curve[high] - curve[low]
+
+
+def run(
+    degrees: Sequence[int] = DEFAULT_DEGREES,
+    powers_w: Sequence[float] = DEFAULT_POWERS,
+    airflows_cfm: Sequence[float] = DEFAULT_AIRFLOWS,
+    inlet_c: float = DEFAULT_INLET_C,
+) -> Figure5Result:
+    """Sweep the analytical entry-temperature model."""
+    model = EntryTemperatureModel(inlet_c=inlet_c)
+    points = model.sweep(degrees, powers_w, airflows_cfm)
+    return Figure5Result(points=tuple(points), inlet_c=inlet_c)
+
+
+def main() -> None:
+    """Print the 15 W / 6 CFM Figure 5 curve and the paper's example."""
+    result = run()
+    rows = [
+        [d, round(m, 1), round(c, 3)]
+        for d, m, c in result.series(15.0, 6.0)
+    ]
+    print("Figure 5 (15 W sockets, 6 CFM): entry temperature vs degree")
+    print(format_table(["Degree", "Mean entry (C)", "CoV"], rows))
+    delta = result.mean_entry_delta(15.0, 6.0, 1, 5)
+    print(
+        f"Mean entry temperature difference, degree 5 vs 1: "
+        f"{delta:.1f} C (paper: ~10 C)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Figure 6: job duration statistics per benchmark set.
+
+Expected shape: average job durations of a few milliseconds per set,
+maxima roughly two orders of magnitude above the mean, and intra-set
+coefficient of variation of benchmark means between 0.25 and 0.33.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..metrics.stats import coefficient_of_variation
+from ..workloads.benchmark import BenchmarkSet
+from ..workloads.pcmark import apps_in_set
+from .common import format_table
+
+
+@dataclass(frozen=True)
+class SetDurationStats:
+    """Duration statistics of one benchmark set.
+
+    Attributes:
+        benchmark_set: The set summarised.
+        mean_ms: Mean of the member benchmarks' mean durations.
+        cov: Coefficient of variation of the member means (Fig. 6b).
+        max_over_mean: Ratio of the largest sampled duration to the
+            mean (Fig. 6a's two-orders-of-magnitude observation).
+    """
+
+    benchmark_set: BenchmarkSet
+    mean_ms: float
+    cov: float
+    max_over_mean: float
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Per-set duration statistics.
+
+    Attributes:
+        stats: Statistics keyed by benchmark set.
+    """
+
+    stats: Dict[BenchmarkSet, SetDurationStats]
+
+    def rows(self) -> List[List[object]]:
+        """Formatted rows for printing."""
+        return [
+            [
+                s.benchmark_set.value,
+                round(s.mean_ms, 2),
+                round(s.cov, 3),
+                round(s.max_over_mean, 1),
+            ]
+            for s in self.stats.values()
+        ]
+
+
+def run(samples_per_app: int = 20000, seed: int = 0) -> Figure6Result:
+    """Sample job durations and compute the Figure 6 statistics."""
+    rng = np.random.default_rng(seed)
+    stats: Dict[BenchmarkSet, SetDurationStats] = {}
+    for benchmark_set in BenchmarkSet:
+        apps = apps_in_set(benchmark_set)
+        means = [app.mean_duration_ms for app in apps]
+        all_samples = np.concatenate(
+            [app.sample_durations_ms(samples_per_app, rng) for app in apps]
+        )
+        stats[benchmark_set] = SetDurationStats(
+            benchmark_set=benchmark_set,
+            mean_ms=float(np.mean(means)),
+            cov=coefficient_of_variation(means),
+            max_over_mean=float(all_samples.max() / all_samples.mean()),
+        )
+    return Figure6Result(stats=stats)
+
+
+def main() -> None:
+    """Print Figure 6."""
+    result = run()
+    print("Figure 6: job duration statistics per benchmark set")
+    print(
+        format_table(
+            ["Set", "Avg duration (ms)", "CoV", "Max/mean"],
+            result.rows(),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Figure 7: workload power (at 90 degC) and performance vs frequency.
+
+Expected shape: at 1900 MHz, Computation draws ~18 W, GP ~14 W and
+Storage ~10.5 W; power falls with frequency, fastest for Computation.
+Performance relative to 1900 MHz drops ~35% for Computation at
+1100 MHz, ~25% for GP and ~10% for Storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..server.processors import X2150_LADDER
+from ..workloads.benchmark import BenchmarkSet
+from ..workloads.perf_model import PerfModel
+from ..workloads.power_model import PowerModel
+from .common import format_table
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Power and performance curves per benchmark set.
+
+    Attributes:
+        power_w: ``power_w[set][f_mhz]`` — total power at 90 degC, W.
+        performance: ``performance[set][f_mhz]`` — relative to
+            1900 MHz.
+        frequencies_mhz: The DVFS states evaluated.
+    """
+
+    power_w: Dict[BenchmarkSet, Dict[int, float]]
+    performance: Dict[BenchmarkSet, Dict[int, float]]
+    frequencies_mhz: Tuple[int, ...]
+
+    def rows(self) -> List[List[object]]:
+        """Rows: set, then power and perf at each frequency."""
+        rows = []
+        for benchmark_set in self.power_w:
+            for freq in self.frequencies_mhz:
+                rows.append(
+                    [
+                        benchmark_set.value,
+                        freq,
+                        round(self.power_w[benchmark_set][freq], 2),
+                        round(self.performance[benchmark_set][freq], 3),
+                    ]
+                )
+        return rows
+
+
+def run() -> Figure7Result:
+    """Evaluate the power / performance models over the ladder."""
+    frequencies = X2150_LADDER.states_mhz
+    power: Dict[BenchmarkSet, Dict[int, float]] = {}
+    perf: Dict[BenchmarkSet, Dict[int, float]] = {}
+    for benchmark_set in BenchmarkSet:
+        power_model = PowerModel.for_set(benchmark_set)
+        perf_model = PerfModel.for_set(benchmark_set)
+        power[benchmark_set] = {
+            f: float(power_model.power_at_reference(f)) for f in frequencies
+        }
+        perf[benchmark_set] = {
+            f: float(perf_model.relative_performance(f))
+            for f in frequencies
+        }
+    return Figure7Result(
+        power_w=power, performance=perf, frequencies_mhz=frequencies
+    )
+
+
+def main() -> None:
+    """Print Figure 7."""
+    result = run()
+    print("Figure 7: power (90 C) and relative performance vs frequency")
+    print(
+        format_table(
+            ["Set", "MHz", "Power (W)", "Rel. perf"], result.rows()
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Figure 9: on-die temperature spreads and max temperature vs power.
+
+Expected shape (from the detailed reference model over the 19 apps):
+
+- hot-spot / cold-spot spreads of only ~4-7 degC on the small
+  (~100 mm^2) die, justifying a lateral-resistance-free simplified
+  model;
+- peak temperature well correlated with total power;
+- the 30-fin heat sink running cooler than the 18-fin sink by ~6-7 degC
+  at high power and ~3-4 degC at low power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..thermal.detailed_model import DetailedChipModel
+from ..thermal.heatsink import FIN_18, FIN_30
+from ..workloads.benchmark import profile_for
+from ..workloads.pcmark import PCMARK_APPS, Application
+from ..workloads.power_model import LEAKAGE_TDP_FRACTION, leakage_power
+from .common import format_table
+
+#: Operating point used to derive each app's Figure 9 power: sustained
+#: frequency, with leakage evaluated at a typical 70 degC chip.
+OPERATING_FREQ_MHZ = 1500
+OPERATING_CHIP_C = 70.0
+DEFAULT_AMBIENT_C = 25.0
+DEFAULT_TDP_W = 22.0
+
+
+def app_operating_power_w(app: Application) -> float:
+    """The app's socket power at the Figure 9 operating point, W."""
+    profile = profile_for(app.benchmark_set)
+    dyn_max = app.power_at_max_w - LEAKAGE_TDP_FRACTION * DEFAULT_TDP_W
+    dyn = dyn_max * (OPERATING_FREQ_MHZ / 1900.0) ** profile.dynamic_exponent
+    return dyn + float(leakage_power(OPERATING_CHIP_C, DEFAULT_TDP_W))
+
+
+@dataclass(frozen=True)
+class AppThermalPoint:
+    """Detailed-model solution for one app on one heat sink.
+
+    Attributes:
+        app_name: Application name.
+        sink_name: Heat sink name.
+        power_w: Total power at the operating point, W.
+        max_temperature_c: Hottest block temperature, degC.
+        spread_c: Hot-cold spot temperature difference, degC.
+    """
+
+    app_name: str
+    sink_name: str
+    power_w: float
+    max_temperature_c: float
+    spread_c: float
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    """All (app, sink) thermal points.
+
+    Attributes:
+        points: One entry per app per sink.
+        ambient_c: Entry air temperature used.
+    """
+
+    points: Tuple[AppThermalPoint, ...]
+    ambient_c: float
+
+    def for_sink(self, sink_name: str) -> List[AppThermalPoint]:
+        """Points for one heat sink, sorted by power."""
+        return sorted(
+            (p for p in self.points if p.sink_name == sink_name),
+            key=lambda p: p.power_w,
+        )
+
+    def spread_range(self) -> Tuple[float, float]:
+        """(min, max) hot-cold spread across all points, degC."""
+        spreads = [p.spread_c for p in self.points]
+        return min(spreads), max(spreads)
+
+    def sink_advantage(self) -> Dict[str, float]:
+        """30-fin peak-temperature advantage at the power extremes.
+
+        Returns:
+            ``{"low_power": ..., "high_power": ...}`` — how much cooler
+            the 30-fin sink runs than the 18-fin sink, degC.
+        """
+        fin18 = self.for_sink(FIN_18.name)
+        fin30 = {p.app_name: p for p in self.for_sink(FIN_30.name)}
+        deltas = [
+            (p.power_w, p.max_temperature_c - fin30[p.app_name].max_temperature_c)
+            for p in fin18
+        ]
+        deltas.sort()
+        return {
+            "low_power": deltas[0][1],
+            "high_power": deltas[-1][1],
+        }
+
+
+def run(ambient_c: float = DEFAULT_AMBIENT_C) -> Figure9Result:
+    """Solve the detailed model for every app on both heat sinks."""
+    points: List[AppThermalPoint] = []
+    for sink in (FIN_18, FIN_30):
+        model = DetailedChipModel(sink)
+        for app in PCMARK_APPS:
+            power = app_operating_power_w(app)
+            solution = model.solve(ambient_c, app.block_power_map(power))
+            points.append(
+                AppThermalPoint(
+                    app_name=app.name,
+                    sink_name=sink.name,
+                    power_w=power,
+                    max_temperature_c=solution.max_temperature_c,
+                    spread_c=solution.spread_c,
+                )
+            )
+    return Figure9Result(points=tuple(points), ambient_c=ambient_c)
+
+
+def main() -> None:
+    """Print Figure 9 summaries."""
+    result = run()
+    rows = [
+        [p.app_name, p.sink_name, round(p.power_w, 1),
+         round(p.max_temperature_c, 1), round(p.spread_c, 1)]
+        for p in result.points
+    ]
+    print("Figure 9: detailed-model thermals for the 19 apps")
+    print(
+        format_table(
+            ["App", "Sink", "Power (W)", "Max T (C)", "Spread (C)"],
+            rows,
+        )
+    )
+    low, high = result.spread_range()
+    print(f"Spread range: {low:.1f} - {high:.1f} C (paper: 4-7 C)")
+    advantage = result.sink_advantage()
+    print(
+        "30-fin advantage: "
+        f"{advantage['low_power']:.1f} C at low power, "
+        f"{advantage['high_power']:.1f} C at high power "
+        "(paper: 3-4 C and 6-7 C)"
+    )
+
+
+if __name__ == "__main__":
+    main()

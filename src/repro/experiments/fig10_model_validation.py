@@ -1,0 +1,112 @@
+"""Figure 10: validation of the simplified Equation 1 model.
+
+Expected shape: across the 19 applications and both heat sinks, the
+simplified peak-temperature model agrees with the detailed reference
+model to within ~2 degC, irrespective of heat sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..thermal.chip_model import peak_temperature
+from ..thermal.detailed_model import DetailedChipModel
+from ..thermal.heatsink import FIN_18, FIN_30
+from ..workloads.pcmark import PCMARK_APPS
+from .common import format_table
+from .fig09_heatsinks import DEFAULT_AMBIENT_C, app_operating_power_w
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """Model disagreement for one (app, sink) pair.
+
+    Attributes:
+        app_name: Application name.
+        sink_name: Heat sink name.
+        power_w: Operating power, W.
+        detailed_c: Detailed-model peak temperature, degC.
+        simplified_c: Equation 1 peak temperature, degC.
+    """
+
+    app_name: str
+    sink_name: str
+    power_w: float
+    detailed_c: float
+    simplified_c: float
+
+    @property
+    def error_c(self) -> float:
+        """Simplified minus detailed peak temperature, degC."""
+        return self.simplified_c - self.detailed_c
+
+
+@dataclass(frozen=True)
+class Figure10Result:
+    """All validation points.
+
+    Attributes:
+        points: One entry per (app, sink).
+    """
+
+    points: Tuple[ValidationPoint, ...]
+
+    @property
+    def max_abs_error_c(self) -> float:
+        """Worst-case disagreement magnitude, degC."""
+        return max(abs(p.error_c) for p in self.points)
+
+    def rows(self) -> List[List[object]]:
+        """Formatted rows for printing."""
+        return [
+            [
+                p.app_name,
+                p.sink_name,
+                round(p.power_w, 1),
+                round(p.detailed_c, 1),
+                round(p.simplified_c, 1),
+                round(p.error_c, 2),
+            ]
+            for p in self.points
+        ]
+
+
+def run(ambient_c: float = DEFAULT_AMBIENT_C) -> Figure10Result:
+    """Compare Equation 1 against the detailed model for all apps."""
+    points: List[ValidationPoint] = []
+    for sink in (FIN_18, FIN_30):
+        model = DetailedChipModel(sink)
+        for app in PCMARK_APPS:
+            power = app_operating_power_w(app)
+            detailed = model.solve(ambient_c, app.block_power_map(power))
+            simplified = peak_temperature(ambient_c, power, sink)
+            points.append(
+                ValidationPoint(
+                    app_name=app.name,
+                    sink_name=sink.name,
+                    power_w=power,
+                    detailed_c=detailed.max_temperature_c,
+                    simplified_c=simplified,
+                )
+            )
+    return Figure10Result(points=tuple(points))
+
+
+def main() -> None:
+    """Print Figure 10."""
+    result = run()
+    print("Figure 10: simplified-vs-detailed model validation")
+    print(
+        format_table(
+            ["App", "Sink", "Power (W)", "Detailed", "Eq. 1", "Error"],
+            result.rows(),
+        )
+    )
+    print(
+        f"Max |error|: {result.max_abs_error_c:.2f} C (paper: within 2 C)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Figure 11: existing thermal-aware schemes at 30% and 70% load.
+
+Expected shape (Computation workload, runtime expansion relative to CF,
+lower is better): at 30% load HF and MinHR are clearly worse than CF
+while Predictive is the only scheme meaningfully better; at 70% load the
+ordering flips — HF and MinHR become the best existing schemes and
+Predictive loses its advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import get_scheduler
+from ..metrics.performance import relative_runtime_expansion
+from ..sim.runner import run_once
+from ..workloads.benchmark import BenchmarkSet
+from .common import ExperimentConfig, format_table
+
+#: The existing schemes Figure 11 compares (CF is the baseline).
+EXISTING_SCHEMES: Tuple[str, ...] = (
+    "CF",
+    "HF",
+    "Random",
+    "MinHR",
+    "CN",
+    "Balanced",
+    "Balanced-L",
+    "A-Random",
+    "Predictive",
+)
+
+DEFAULT_LOADS: Tuple[float, ...] = (0.3, 0.7)
+
+
+@dataclass(frozen=True)
+class Figure11Result:
+    """Runtime expansion relative to CF per (scheme, load).
+
+    Attributes:
+        expansion_vs_cf: ``{(scheme, load): ratio}`` — 1.0 is CF parity,
+            above 1.0 is worse than CF.
+        loads: Load levels evaluated.
+        schemes: Scheme names evaluated.
+    """
+
+    expansion_vs_cf: Dict[Tuple[str, float], float]
+    loads: Tuple[float, ...]
+    schemes: Tuple[str, ...]
+
+    def rows(self) -> List[List[object]]:
+        """Formatted rows: scheme, then one column per load."""
+        rows = []
+        for scheme in self.schemes:
+            rows.append(
+                [scheme]
+                + [
+                    round(self.expansion_vs_cf[(scheme, load)], 3)
+                    for load in self.loads
+                ]
+            )
+        return rows
+
+    def best_at(self, load: float) -> str:
+        """Scheme with the lowest expansion at a load."""
+        return min(
+            self.schemes, key=lambda s: self.expansion_vs_cf[(s, load)]
+        )
+
+
+def run(
+    config: ExperimentConfig = None,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    schemes: Sequence[str] = EXISTING_SCHEMES,
+) -> Figure11Result:
+    """Simulate every existing scheme at the requested loads."""
+    config = config or ExperimentConfig()
+    topology = config.topology()
+    params = config.parameters()
+    expansion: Dict[Tuple[str, float], float] = {}
+    for load in loads:
+        baseline = run_once(
+            topology,
+            params,
+            get_scheduler("CF"),
+            BenchmarkSet.COMPUTATION,
+            load,
+        )
+        for scheme in schemes:
+            if scheme == "CF":
+                expansion[(scheme, load)] = 1.0
+                continue
+            result = run_once(
+                topology,
+                params,
+                get_scheduler(scheme),
+                BenchmarkSet.COMPUTATION,
+                load,
+            )
+            expansion[(scheme, load)] = relative_runtime_expansion(
+                result, baseline
+            )
+    return Figure11Result(
+        expansion_vs_cf=expansion,
+        loads=tuple(loads),
+        schemes=tuple(schemes),
+    )
+
+
+def main() -> None:
+    """Print Figure 11."""
+    result = run()
+    print(
+        "Figure 11: runtime expansion vs CF, Computation "
+        "(lower is better)"
+    )
+    headers = ["Scheme"] + [f"{load:.0%} load" for load in result.loads]
+    print(format_table(headers, result.rows()))
+    for load in result.loads:
+        print(f"Best at {load:.0%}: {result.best_at(load)}")
+
+
+if __name__ == "__main__":
+    main()

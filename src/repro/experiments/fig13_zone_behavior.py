@@ -1,0 +1,114 @@
+"""Figure 13: frequency and work split by server region per scheme.
+
+Expected shape: at 30% load, front-loading schemes (CF, Balanced-L,
+Predictive, CP) perform most of their work in the front half at high
+frequency; HF, MinHR and Random do not.  Predictive concentrates work on
+even zones (the better 30-fin heat sinks), especially zone 2.  At 70%
+load the back half carries more work for every scheme and its frequency
+suffers, most under front-loading schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import get_scheduler
+from ..metrics.zones import ZoneReport, zone_report
+from ..sim.runner import run_once
+from ..workloads.benchmark import BenchmarkSet
+from .common import ExperimentConfig, format_table
+
+DEFAULT_SCHEMES: Tuple[str, ...] = (
+    "CF",
+    "HF",
+    "Random",
+    "MinHR",
+    "CN",
+    "Balanced-L",
+    "A-Random",
+    "Predictive",
+    "CP",
+)
+
+DEFAULT_LOADS: Tuple[float, ...] = (0.3, 0.7)
+
+
+@dataclass(frozen=True)
+class Figure13Result:
+    """Zone reports per (scheme, load).
+
+    Attributes:
+        reports: ``{(scheme, load): ZoneReport}``.
+        loads: Load levels evaluated.
+        schemes: Scheme names evaluated.
+    """
+
+    reports: Dict[Tuple[str, float], ZoneReport]
+    loads: Tuple[float, ...]
+    schemes: Tuple[str, ...]
+
+    def rows(self, load: float) -> List[List[object]]:
+        """Formatted rows for one load level."""
+        rows = []
+        for scheme in self.schemes:
+            report = self.reports[(scheme, load)]
+            rows.append(
+                [
+                    scheme,
+                    round(report.front_freq, 3),
+                    round(report.back_freq, 3),
+                    round(report.even_freq, 3),
+                    round(report.front_work, 3),
+                    round(report.back_work, 3),
+                    round(report.even_work, 3),
+                ]
+            )
+        return rows
+
+
+def run(
+    config: ExperimentConfig = None,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+) -> Figure13Result:
+    """Simulate the schemes and compute zone reports."""
+    config = config or ExperimentConfig()
+    topology = config.topology()
+    params = config.parameters()
+    reports: Dict[Tuple[str, float], ZoneReport] = {}
+    for load in loads:
+        for scheme in schemes:
+            result = run_once(
+                topology,
+                params,
+                get_scheduler(scheme),
+                BenchmarkSet.COMPUTATION,
+                load,
+            )
+            reports[(scheme, load)] = zone_report(result)
+    return Figure13Result(
+        reports=reports, loads=tuple(loads), schemes=tuple(schemes)
+    )
+
+
+def main() -> None:
+    """Print Figure 13 for each load."""
+    result = run()
+    headers = [
+        "Scheme",
+        "F-freq",
+        "B-freq",
+        "E-freq",
+        "F-work",
+        "B-work",
+        "E-work",
+    ]
+    for load in result.loads:
+        print(f"Figure 13 at {load:.0%} load (front/back/even zones)")
+        print(format_table(headers, result.rows(load)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Figure 14: performance vs CF for all schemes, loads and workloads.
+
+Expected shape: CP outperforms or matches every other scheme across
+essentially the whole load range, for all three workloads; Predictive is
+the best existing scheme at low load but loses its advantage past ~50%;
+HF and MinHR are poor at low load and best at high load; Storage shows
+muted differences throughout; the largest CP-vs-CF margins appear for
+Computation at high load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import get_scheduler
+from ..metrics.performance import relative_performance
+from ..sim.results import SimulationResult
+from ..sim.runner import run_once
+from ..workloads.benchmark import BenchmarkSet
+from .common import ExperimentConfig, format_table
+
+#: All schemes of Figure 14 (CF is the normalisation baseline).
+ALL_SCHEMES: Tuple[str, ...] = (
+    "CF",
+    "HF",
+    "Random",
+    "MinHR",
+    "CN",
+    "Balanced",
+    "Balanced-L",
+    "A-Random",
+    "Predictive",
+    "CP",
+)
+
+
+@dataclass(frozen=True)
+class Figure14Result:
+    """Relative performance per (scheme, set, load).
+
+    Attributes:
+        performance_vs_cf: ``{(scheme, set, load): ratio}`` — above 1.0
+            beats CF.
+        loads: Load levels evaluated.
+        schemes: Schemes evaluated.
+        benchmark_sets: Workload sets evaluated.
+    """
+
+    performance_vs_cf: Dict[Tuple[str, BenchmarkSet, float], float]
+    loads: Tuple[float, ...]
+    schemes: Tuple[str, ...]
+    benchmark_sets: Tuple[BenchmarkSet, ...]
+
+    def rows(self, benchmark_set: BenchmarkSet) -> List[List[object]]:
+        """Formatted rows for one workload set."""
+        rows = []
+        for scheme in self.schemes:
+            rows.append(
+                [scheme]
+                + [
+                    round(
+                        self.performance_vs_cf[
+                            (scheme, benchmark_set, load)
+                        ],
+                        3,
+                    )
+                    for load in self.loads
+                ]
+            )
+        return rows
+
+    def average_gain(
+        self, scheme: str, benchmark_set: BenchmarkSet
+    ) -> float:
+        """Mean performance vs CF across loads for one scheme/set."""
+        values = [
+            self.performance_vs_cf[(scheme, benchmark_set, load)]
+            for load in self.loads
+        ]
+        return sum(values) / len(values)
+
+    def peak_gain(self, scheme: str, benchmark_set: BenchmarkSet) -> float:
+        """Best single-load performance vs CF for one scheme/set."""
+        return max(
+            self.performance_vs_cf[(scheme, benchmark_set, load)]
+            for load in self.loads
+        )
+
+
+def run(
+    config: ExperimentConfig = None,
+    schemes: Sequence[str] = ALL_SCHEMES,
+) -> Figure14Result:
+    """Run the full scheduler x load x workload sweep."""
+    config = config or ExperimentConfig()
+    topology = config.topology()
+    params = config.parameters()
+    performance: Dict[Tuple[str, BenchmarkSet, float], float] = {}
+    for benchmark_set in config.benchmark_sets:
+        for load in config.loads:
+            baseline: SimulationResult = run_once(
+                topology,
+                params,
+                get_scheduler("CF"),
+                benchmark_set,
+                load,
+            )
+            for scheme in schemes:
+                if scheme == "CF":
+                    performance[(scheme, benchmark_set, load)] = 1.0
+                    continue
+                result = run_once(
+                    topology,
+                    params,
+                    get_scheduler(scheme),
+                    benchmark_set,
+                    load,
+                )
+                performance[(scheme, benchmark_set, load)] = (
+                    relative_performance(result, baseline)
+                )
+    return Figure14Result(
+        performance_vs_cf=performance,
+        loads=tuple(config.loads),
+        schemes=tuple(schemes),
+        benchmark_sets=tuple(config.benchmark_sets),
+    )
+
+
+def main() -> None:
+    """Print Figure 14 per workload set."""
+    result = run()
+    for benchmark_set in result.benchmark_sets:
+        print(
+            f"Figure 14 ({benchmark_set.value}): performance vs CF "
+            "(higher is better)"
+        )
+        headers = ["Scheme"] + [f"{l:.0%}" for l in result.loads]
+        print(format_table(headers, result.rows(benchmark_set)))
+        print(
+            f"CP average gain vs CF: "
+            f"{(result.average_gain('CP', benchmark_set) - 1) * 100:.1f}%"
+            f" | peak: "
+            f"{(result.peak_gain('CP', benchmark_set) - 1) * 100:.1f}%"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Figure 15: energy-delay-squared product relative to CF.
+
+Expected shape: CP's ED^2 tracks the best existing scheme at each load —
+Predictive at low load and MinHR/HF at high load — dropping well below
+1.0 for Computation at high load (the paper reports ~0.7x at 80% load),
+with smaller reductions for GP (~0.8x) and Storage (~0.85x).  CP buys
+its performance without an energy penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import get_scheduler
+from ..metrics.energy import relative_ed2
+from ..sim.runner import run_once
+from ..workloads.benchmark import BenchmarkSet
+from .common import ExperimentConfig, format_table
+
+DEFAULT_SCHEMES: Tuple[str, ...] = (
+    "CF",
+    "HF",
+    "MinHR",
+    "Predictive",
+    "CP",
+)
+
+
+@dataclass(frozen=True)
+class Figure15Result:
+    """Normalised ED^2 per (scheme, set, load).
+
+    Attributes:
+        ed2_vs_cf: ``{(scheme, set, load): ratio}`` — below 1.0 beats
+            CF.
+        loads: Load levels evaluated.
+        schemes: Schemes evaluated.
+        benchmark_sets: Workload sets evaluated.
+    """
+
+    ed2_vs_cf: Dict[Tuple[str, BenchmarkSet, float], float]
+    loads: Tuple[float, ...]
+    schemes: Tuple[str, ...]
+    benchmark_sets: Tuple[BenchmarkSet, ...]
+
+    def rows(self, benchmark_set: BenchmarkSet) -> List[List[object]]:
+        """Formatted rows for one workload set."""
+        rows = []
+        for scheme in self.schemes:
+            rows.append(
+                [scheme]
+                + [
+                    round(
+                        self.ed2_vs_cf[(scheme, benchmark_set, load)], 3
+                    )
+                    for load in self.loads
+                ]
+            )
+        return rows
+
+    def best_ed2(self, benchmark_set: BenchmarkSet) -> float:
+        """CP's lowest normalised ED^2 across loads for one set."""
+        return min(
+            self.ed2_vs_cf[("CP", benchmark_set, load)]
+            for load in self.loads
+        )
+
+
+def run(
+    config: ExperimentConfig = None,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+) -> Figure15Result:
+    """Run the ED^2 sweep."""
+    config = config or ExperimentConfig()
+    topology = config.topology()
+    params = config.parameters()
+    ed2: Dict[Tuple[str, BenchmarkSet, float], float] = {}
+    for benchmark_set in config.benchmark_sets:
+        for load in config.loads:
+            baseline = run_once(
+                topology,
+                params,
+                get_scheduler("CF"),
+                benchmark_set,
+                load,
+            )
+            for scheme in schemes:
+                if scheme == "CF":
+                    ed2[(scheme, benchmark_set, load)] = 1.0
+                    continue
+                result = run_once(
+                    topology,
+                    params,
+                    get_scheduler(scheme),
+                    benchmark_set,
+                    load,
+                )
+                ed2[(scheme, benchmark_set, load)] = relative_ed2(
+                    result, baseline
+                )
+    return Figure15Result(
+        ed2_vs_cf=ed2,
+        loads=tuple(config.loads),
+        schemes=tuple(schemes),
+        benchmark_sets=tuple(config.benchmark_sets),
+    )
+
+
+def main() -> None:
+    """Print Figure 15 per workload set."""
+    result = run()
+    for benchmark_set in result.benchmark_sets:
+        print(
+            f"Figure 15 ({benchmark_set.value}): ED^2 vs CF "
+            "(lower is better)"
+        )
+        headers = ["Scheme"] + [f"{l:.0%}" for l in result.loads]
+        print(format_table(headers, result.rows(benchmark_set)))
+        print(
+            f"CP best ED^2 vs CF: {result.best_ed2(benchmark_set):.3f}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

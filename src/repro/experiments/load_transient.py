@@ -1,0 +1,107 @@
+"""Extension experiment: scheduler robustness under a load ramp.
+
+The paper argues CP's value is its *load-agnostic* behaviour — real
+servers do not sit at one operating point.  This experiment drives the
+SUT with a staircase load ramp (an office-day 15% -> 70% by default)
+and compares schedulers end to end: point-optimised schemes are strong
+on one side of the ramp and weak on the other, while CP stays near the
+per-phase best throughout.  (Note the end-to-end mean is job-weighted,
+so ramps that dwell at very high load favour HF/MinHR just as Figure 14
+does at 90-100%.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..core import get_scheduler
+from ..sim.engine import Simulation
+from ..workloads.benchmark import BenchmarkSet
+from ..workloads.load_profile import VaryingLoadProcess, ramp_profile
+from .common import ExperimentConfig, format_table
+
+DEFAULT_SCHEMES: Tuple[str, ...] = (
+    "CF",
+    "HF",
+    "MinHR",
+    "Predictive",
+    "CP",
+)
+
+
+@dataclass(frozen=True)
+class LoadTransientResult:
+    """Mean runtime expansion per scheme over the whole ramp.
+
+    Attributes:
+        expansion: Mean runtime expansion keyed by scheme.
+        ramp: (low, high) loads of the staircase.
+    """
+
+    expansion: Dict[str, float]
+    ramp: Tuple[float, float]
+
+    def relative_to(self, baseline: str) -> Dict[str, float]:
+        """Expansion ratios versus a baseline scheme."""
+        base = self.expansion[baseline]
+        return {
+            scheme: value / base
+            for scheme, value in self.expansion.items()
+        }
+
+    @property
+    def best(self) -> str:
+        """Scheme with the lowest whole-ramp expansion."""
+        return min(self.expansion, key=self.expansion.get)
+
+
+def run(
+    config: ExperimentConfig = None,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    low: float = 0.15,
+    high: float = 0.7,
+    steps: int = 4,
+) -> LoadTransientResult:
+    """Simulate the ramp for every scheme on the identical stream."""
+    config = config or ExperimentConfig()
+    topology = config.topology()
+    params = config.parameters()
+    phases = ramp_profile(
+        low, high, steps=steps, total_duration_s=params.sim_time_s
+    )
+    expansion: Dict[str, float] = {}
+    for scheme in schemes:
+        stream = VaryingLoadProcess(
+            benchmark_set=BenchmarkSet.COMPUTATION,
+            phases=phases,
+            n_sockets=topology.n_sockets,
+            seed=params.seed,
+            duration_scale=params.duration_scale,
+        )
+        result = Simulation(
+            topology, params, get_scheduler(scheme)
+        ).run(stream.generate())
+        expansion[scheme] = result.mean_runtime_expansion
+    return LoadTransientResult(expansion=expansion, ramp=(low, high))
+
+
+def main() -> None:
+    """Print the load-transient comparison."""
+    result = run()
+    low, high = result.ramp
+    print(
+        f"Load transient {low:.0%} -> {high:.0%} (Computation): mean "
+        "runtime expansion"
+    )
+    relative = result.relative_to("CF")
+    rows = [
+        [scheme, round(result.expansion[scheme], 4), round(ratio, 3)]
+        for scheme, ratio in relative.items()
+    ]
+    print(format_table(["Scheme", "Expansion", "vs CF"], rows))
+    print(f"Best over the whole ramp: {result.best}")
+
+
+if __name__ == "__main__":
+    main()

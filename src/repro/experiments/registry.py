@@ -1,0 +1,176 @@
+"""Registry mapping artifact names to experiment modules.
+
+Lets tooling (the CLI, the benchmark harness, docs) enumerate every
+reproducible table and figure without importing each module by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from . import (
+    fig01_survey,
+    fig02_cartridge_thermals,
+    fig03_motivation,
+    fig05_entry_temperature,
+    fig06_job_durations,
+    fig07_power_performance,
+    fig09_heatsinks,
+    fig10_model_validation,
+    fig11_existing_schemes,
+    fig13_zone_behavior,
+    fig14_performance,
+    fig15_ed2,
+    table1_catalog,
+    table2_airflow,
+    table3_parameters,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact.
+
+    Attributes:
+        name: Short identifier (e.g. ``"fig14"``).
+        title: What the artifact shows.
+        module: The implementing module (exposes ``run`` and ``main``).
+        heavy: Whether the experiment runs full simulations (minutes)
+            rather than analytical models (milliseconds).
+    """
+
+    name: str
+    title: str
+    module: ModuleType
+    heavy: bool
+
+    @property
+    def run(self) -> Callable:
+        """The module's ``run`` entry point."""
+        return self.module.run
+
+    @property
+    def main(self) -> Callable[[], None]:
+        """The module's printing entry point."""
+        return self.module.main
+
+
+_EXPERIMENTS: List[Experiment] = [
+    Experiment(
+        "fig01",
+        "Power and socket density per server class",
+        fig01_survey,
+        heavy=False,
+    ),
+    Experiment(
+        "fig02",
+        "Cartridge air / chip temperature profile",
+        fig02_cartridge_thermals,
+        heavy=False,
+    ),
+    Experiment(
+        "fig03",
+        "CF vs HF on coupled / uncoupled 2-socket systems",
+        fig03_motivation,
+        heavy=True,
+    ),
+    Experiment(
+        "fig05",
+        "Entry temperature vs degree of coupling",
+        fig05_entry_temperature,
+        heavy=False,
+    ),
+    Experiment(
+        "fig06",
+        "Job duration statistics per benchmark set",
+        fig06_job_durations,
+        heavy=False,
+    ),
+    Experiment(
+        "fig07",
+        "Power and performance vs frequency",
+        fig07_power_performance,
+        heavy=False,
+    ),
+    Experiment(
+        "fig09",
+        "Heat-sink thermals and on-die spreads",
+        fig09_heatsinks,
+        heavy=False,
+    ),
+    Experiment(
+        "fig10",
+        "Simplified chip model validation",
+        fig10_model_validation,
+        heavy=False,
+    ),
+    Experiment(
+        "fig11",
+        "Existing schemes at 30% / 70% load",
+        fig11_existing_schemes,
+        heavy=True,
+    ),
+    Experiment(
+        "fig13",
+        "Zone frequency and work-done split",
+        fig13_zone_behavior,
+        heavy=True,
+    ),
+    Experiment(
+        "fig14",
+        "Performance vs CF: schemes x loads x workloads",
+        fig14_performance,
+        heavy=True,
+    ),
+    Experiment(
+        "fig15",
+        "ED^2 vs CF across loads and workloads",
+        fig15_ed2,
+        heavy=True,
+    ),
+    Experiment(
+        "table1",
+        "Density optimized system catalog",
+        table1_catalog,
+        heavy=False,
+    ),
+    Experiment(
+        "table2",
+        "Airflow requirements per server class",
+        table2_airflow,
+        heavy=False,
+    ),
+    Experiment(
+        "table3",
+        "Simulation model parameters",
+        table3_parameters,
+        heavy=False,
+    ),
+]
+
+EXPERIMENTS: Dict[str, Experiment] = {e.name: e for e in _EXPERIMENTS}
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up an experiment by name.
+
+    Raises:
+        ConfigurationError: for unknown names.
+    """
+    try:
+        return EXPERIMENTS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; known: {known}"
+        ) from exc
+
+
+def all_experiments(include_heavy: bool = True) -> List[Experiment]:
+    """Every registered experiment, in paper order."""
+    return [
+        e for e in _EXPERIMENTS if include_heavy or not e.heavy
+    ]

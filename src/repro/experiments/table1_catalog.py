@@ -1,0 +1,76 @@
+"""Table I: recent density optimized systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..server.catalog import TABLE_I_SYSTEMS, DensityOptimizedSystem
+from .common import format_table
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The Table I catalog plus derived density columns.
+
+    Attributes:
+        systems: The catalogued systems, in the paper's order.
+    """
+
+    systems: Tuple[DensityOptimizedSystem, ...]
+
+    def rows(self) -> List[List[object]]:
+        """Rows mirroring the paper's columns."""
+        return [
+            [
+                s.organization,
+                s.details,
+                f"{s.height_u}U",
+                s.total_sockets,
+                round(s.sockets_per_u, 2),
+                s.socket_tdp_w,
+                s.cpu,
+                s.degree_of_coupling,
+            ]
+            for s in self.systems
+        ]
+
+    @property
+    def max_density(self) -> float:
+        """Highest socket density in the catalog, sockets/U."""
+        return max(s.sockets_per_u for s in self.systems)
+
+    @property
+    def max_degree(self) -> int:
+        """Highest degree of thermal coupling in the catalog."""
+        return max(s.degree_of_coupling for s in self.systems)
+
+
+def run() -> Table1Result:
+    """Return the Table I reproduction."""
+    return Table1Result(systems=TABLE_I_SYSTEMS)
+
+
+def main() -> None:
+    """Print Table I."""
+    result = run()
+    print("Table I: density optimized systems")
+    print(
+        format_table(
+            [
+                "Organization",
+                "Details",
+                "Size",
+                "Sockets",
+                "Sockets/U",
+                "TDP (W)",
+                "CPU",
+                "Coupling",
+            ],
+            result.rows(),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

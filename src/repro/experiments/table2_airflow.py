@@ -1,0 +1,59 @@
+"""Table II: airflow requirements per server class.
+
+Expected values at a 20 degC outlet budget: 18.30 CFM (1U), 12.94 (2U),
+10.03 (Other), 37.05 (Blade) and 51.74 (DensityOpt) per 1U.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..thermal.airflow import DEFAULT_DELTA_T_C, airflow_table
+from .common import format_table
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Airflow table rows.
+
+    Attributes:
+        delta_t_c: Outlet-inlet temperature budget, degC.
+        rows_data: (server class, power/U, CFM/U) rows.
+    """
+
+    delta_t_c: float
+    rows_data: Tuple[Tuple[str, float, float], ...]
+
+    def rows(self) -> List[List[object]]:
+        """Formatted rows for printing."""
+        return [
+            [name, round(power, 1), round(cfm, 2)]
+            for name, power, cfm in self.rows_data
+        ]
+
+
+def run(delta_t_c: float = DEFAULT_DELTA_T_C) -> Table2Result:
+    """Compute Table II for the given outlet budget."""
+    return Table2Result(
+        delta_t_c=delta_t_c, rows_data=tuple(airflow_table(delta_t_c))
+    )
+
+
+def main() -> None:
+    """Print Table II."""
+    result = run()
+    print(
+        "Table II: airflow per 1U for a "
+        f"{result.delta_t_c:g} degC outlet budget"
+    )
+    print(
+        format_table(
+            ["Server size", "Power per 1U (W)", "Airflow (CFM)"],
+            result.rows(),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Table III: overall simulation model parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config.parameters import SimulationParameters, table_iii_rows
+from .common import format_table
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Rendered Table III.
+
+    Attributes:
+        rows_data: (parameter, value) pairs.
+    """
+
+    rows_data: Tuple[Tuple[str, str], ...]
+
+    def rows(self) -> List[List[object]]:
+        """Formatted rows for printing."""
+        return [list(row) for row in self.rows_data]
+
+
+def run(
+    params: SimulationParameters = SimulationParameters(),
+) -> Table3Result:
+    """Render Table III for a parameter set (paper defaults)."""
+    return Table3Result(rows_data=tuple(table_iii_rows(params)))
+
+
+def main() -> None:
+    """Print Table III."""
+    result = run()
+    print("Table III: overall simulation model parameters")
+    print(format_table(["Parameter", "Value"], result.rows()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Derived metrics: performance, energy, zone behaviour, statistics."""
+
+from .performance import (
+    relative_performance,
+    runtime_expansion_stats,
+    response_time_stats,
+    ExpansionStats,
+)
+from .energy import relative_ed2, energy_summary, EnergySummary
+from .zones import zone_report, ZoneReport
+from .stats import coefficient_of_variation, summarize
+from .robustness import (
+    RobustnessReport,
+    robustness_report,
+    most_robust,
+)
+
+__all__ = [
+    "relative_performance",
+    "runtime_expansion_stats",
+    "response_time_stats",
+    "ExpansionStats",
+    "relative_ed2",
+    "energy_summary",
+    "EnergySummary",
+    "zone_report",
+    "ZoneReport",
+    "coefficient_of_variation",
+    "summarize",
+    "RobustnessReport",
+    "robustness_report",
+    "most_robust",
+]

@@ -1,0 +1,46 @@
+"""Energy and energy-delay metrics (Figure 15)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.results import SimulationResult
+
+
+def relative_ed2(
+    result: SimulationResult, baseline: SimulationResult
+) -> float:
+    """ED^2 of ``result`` normalised to ``baseline`` (Figure 15).
+
+    Below 1 means the run is more energy-delay efficient than the
+    baseline.
+    """
+    return result.ed2_j_s2 / baseline.ed2_j_s2
+
+
+@dataclass(frozen=True)
+class EnergySummary:
+    """Energy view of one run.
+
+    Attributes:
+        energy_j: Total energy over the measurement window, J.
+        average_power_w: Mean server power, W.
+        energy_per_job_j: Energy divided by completed job count, J.
+        ed2: Raw energy-delay-squared product.
+    """
+
+    energy_j: float
+    average_power_w: float
+    energy_per_job_j: float
+    ed2: float
+
+
+def energy_summary(result: SimulationResult) -> EnergySummary:
+    """Summarise the energy behaviour of a run."""
+    jobs = max(result.n_jobs_completed, 1)
+    return EnergySummary(
+        energy_j=result.energy_j,
+        average_power_w=result.average_power_w,
+        energy_per_job_j=result.energy_j / jobs,
+        ed2=result.ed2_j_s2,
+    )

@@ -1,0 +1,94 @@
+"""Performance metrics relative to a baseline run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..sim.results import SimulationResult
+
+
+def relative_performance(
+    result: SimulationResult, baseline: SimulationResult
+) -> float:
+    """Performance of ``result`` relative to ``baseline`` (Figure 14).
+
+    Greater than 1 means ``result``'s jobs expanded less than the
+    baseline's.  Both runs must have been driven with the identical job
+    stream for the ratio to be meaningful.
+    """
+    return result.performance / baseline.performance
+
+
+def relative_runtime_expansion(
+    result: SimulationResult, baseline: SimulationResult
+) -> float:
+    """Average runtime expansion vs the baseline (Figure 11, lower wins)."""
+    return result.mean_runtime_expansion / baseline.mean_runtime_expansion
+
+
+@dataclass(frozen=True)
+class ExpansionStats:
+    """Distributional view of per-job runtime expansion.
+
+    Attributes:
+        mean: Mean expansion.
+        p50: Median expansion.
+        p95: 95th percentile expansion.
+        p99: 99th percentile expansion.
+        worst: Maximum expansion.
+    """
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    worst: float
+
+
+def runtime_expansion_stats(result: SimulationResult) -> ExpansionStats:
+    """Expansion distribution of one run.
+
+    Raises:
+        ReproError: if the run completed no jobs.
+    """
+    if not result.completed_jobs:
+        raise ReproError("result has no completed jobs")
+    expansions = np.array(
+        [job.runtime_expansion for job in result.completed_jobs]
+    )
+    return _distribution(expansions)
+
+
+def response_time_stats(result: SimulationResult) -> ExpansionStats:
+    """Distribution of arrival-to-completion time over nominal duration.
+
+    Unlike runtime expansion this *includes queueing delay*, so it
+    diverges from expansion exactly when the system saturates — a
+    useful overload indicator.
+
+    Raises:
+        ReproError: if the run completed no jobs.
+    """
+    if not result.completed_jobs:
+        raise ReproError("result has no completed jobs")
+    ratios = np.array(
+        [
+            job.response_time_s / job.nominal_duration_s
+            for job in result.completed_jobs
+        ]
+    )
+    return _distribution(ratios)
+
+
+def _distribution(values: np.ndarray) -> ExpansionStats:
+    return ExpansionStats(
+        mean=float(values.mean()),
+        p50=float(np.percentile(values, 50)),
+        p95=float(np.percentile(values, 95)),
+        p99=float(np.percentile(values, 99)),
+        worst=float(values.max()),
+    )

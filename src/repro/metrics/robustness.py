@@ -1,0 +1,102 @@
+"""Robustness across load levels.
+
+The paper's closing argument for CP is not just its average gain but
+its *robustness*: "no existing scheme provides consistent performance
+across all load levels... adaptive and load agnostic behavior is
+important for server systems where system load can change constantly".
+These metrics make that claim measurable: for each scheme, the
+worst-case performance relative to the per-load best scheme (regret),
+aggregated over the load axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Regret-based robustness of one scheme over a load sweep.
+
+    Attributes:
+        scheme: Scheme name.
+        worst_regret: Largest shortfall versus the per-load best scheme
+            (0 means the scheme is best at every load).
+        mean_regret: Average shortfall across loads.
+        wins: Number of loads at which the scheme is (tied) best.
+    """
+
+    scheme: str
+    worst_regret: float
+    mean_regret: float
+    wins: int
+
+
+def robustness_report(
+    performance: Mapping[Tuple[str, float], float],
+    schemes: Sequence[str],
+    loads: Sequence[float],
+    tie_tolerance: float = 0.005,
+) -> Dict[str, RobustnessReport]:
+    """Compute per-scheme robustness over a (scheme, load) grid.
+
+    Args:
+        performance: Performance values keyed by (scheme, load); any
+            consistent scale works since only ratios matter.
+        schemes: Schemes to report.
+        loads: Load levels of the sweep.
+        tie_tolerance: Relative slack within which a scheme counts as
+            tied-best at a load.
+
+    Raises:
+        ReproError: if the grid is missing entries or empty.
+    """
+    if not schemes or not loads:
+        raise ReproError("robustness needs >= 1 scheme and load")
+    for scheme in schemes:
+        for load in loads:
+            if (scheme, load) not in performance:
+                raise ReproError(
+                    f"missing performance for ({scheme}, {load})"
+                )
+    best_at = {
+        load: max(performance[(s, load)] for s in schemes)
+        for load in loads
+    }
+    reports: Dict[str, RobustnessReport] = {}
+    for scheme in schemes:
+        regrets = [
+            1.0 - performance[(scheme, load)] / best_at[load]
+            for load in loads
+        ]
+        wins = sum(
+            1
+            for load in loads
+            if performance[(scheme, load)]
+            >= best_at[load] * (1.0 - tie_tolerance)
+        )
+        reports[scheme] = RobustnessReport(
+            scheme=scheme,
+            worst_regret=max(regrets),
+            mean_regret=sum(regrets) / len(regrets),
+            wins=wins,
+        )
+    return reports
+
+
+def most_robust(
+    reports: Mapping[str, RobustnessReport],
+) -> str:
+    """Scheme with the smallest worst-case regret.
+
+    Raises:
+        ReproError: for an empty report map.
+    """
+    if not reports:
+        raise ReproError("no robustness reports given")
+    return min(
+        reports.values(), key=lambda r: (r.worst_regret, r.mean_regret)
+    ).scheme

@@ -1,0 +1,62 @@
+"""Small statistics helpers used across experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation divided by the mean (Figure 5b / 6b metric).
+
+    Raises:
+        ReproError: for empty input or a zero mean.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ReproError("cannot compute CoV of an empty sequence")
+    mean = float(data.mean())
+    if mean == 0:
+        raise ReproError("CoV undefined for zero mean")
+    return float(data.std()) / mean
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample.
+
+    Attributes:
+        mean: Sample mean.
+        std: Sample standard deviation (population convention).
+        minimum: Smallest value.
+        maximum: Largest value.
+        count: Sample size.
+    """
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a sample.
+
+    Raises:
+        ReproError: for empty input.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ReproError("cannot summarize an empty sequence")
+    return Summary(
+        mean=float(data.mean()),
+        std=float(data.std()),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        count=int(data.size),
+    )

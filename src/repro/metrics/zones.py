@@ -1,0 +1,51 @@
+"""Zone-level behaviour metrics (paper Figure 13).
+
+Figure 13 reports, for each scheduling scheme, the average operating
+frequency (relative to 1900 MHz) and the share of total work performed
+in three regions of the SUT: the front half (zones 1-3), the back half
+(zones 4-6), and the even zones (2, 4, 6 — the ones with the better
+30-fin heat sink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class ZoneReport:
+    """Frequency and work-done split by server region.
+
+    Attributes:
+        front_freq: Busy-weighted relative frequency, front half.
+        back_freq: Busy-weighted relative frequency, back half.
+        even_freq: Busy-weighted relative frequency, even zones.
+        front_work: Fraction of total work done in the front half.
+        back_work: Fraction of total work done in the back half.
+        even_work: Fraction of total work done in even zones.
+    """
+
+    front_freq: float
+    back_freq: float
+    even_freq: float
+    front_work: float
+    back_work: float
+    even_work: float
+
+
+def zone_report(result: SimulationResult) -> ZoneReport:
+    """Compute the Figure 13 metrics for one run."""
+    topology = result.topology
+    front = topology.front_half_mask()
+    back = ~front
+    even = topology.even_zone_mask()
+    return ZoneReport(
+        front_freq=result.average_relative_frequency(front),
+        back_freq=result.average_relative_frequency(back),
+        even_freq=result.average_relative_frequency(even),
+        front_work=result.work_fraction(front),
+        back_work=result.work_fraction(back),
+        even_work=result.work_fraction(even),
+    )

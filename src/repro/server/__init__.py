@@ -1,0 +1,45 @@
+"""Server substrate: processors, sockets, cartridges and topologies.
+
+- :mod:`repro.server.processors` — processor specifications (Table I
+  CPUs) and the DVFS frequency ladder of the AMD Opteron X2150.
+- :mod:`repro.server.socket_` — a socket: processor + heat sink + idle
+  power-gating behaviour.
+- :mod:`repro.server.topology` — geometric organisation of sockets into
+  lanes, cartridges, zones and rows, including the 180-socket
+  Moonshot-M700-like system under test (SUT) and the 2-socket
+  motivational configurations of Figure 3.
+- :mod:`repro.server.catalog` — the density-optimized systems of Table I.
+"""
+
+from .processors import (
+    FrequencyLadder,
+    ProcessorSpec,
+    OPTERON_X2150,
+    X2150_LADDER,
+)
+from .socket_ import SocketSpec
+from .topology import (
+    ServerTopology,
+    SocketSite,
+    moonshot_sut,
+    two_socket_system,
+)
+from .catalog import DensityOptimizedSystem, TABLE_I_SYSTEMS
+from .rack import ChassisSlot, RackModel, moonshot_rack
+
+__all__ = [
+    "FrequencyLadder",
+    "ProcessorSpec",
+    "OPTERON_X2150",
+    "X2150_LADDER",
+    "SocketSpec",
+    "ServerTopology",
+    "SocketSite",
+    "moonshot_sut",
+    "two_socket_system",
+    "DensityOptimizedSystem",
+    "TABLE_I_SYSTEMS",
+    "ChassisSlot",
+    "RackModel",
+    "moonshot_rack",
+]

@@ -1,0 +1,208 @@
+"""Catalog of recent density optimized server systems (paper Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DensityOptimizedSystem:
+    """One row of Table I.
+
+    Attributes:
+        organization: Vendor / organisation.
+        system: Product family.
+        details: Specific model or configuration.
+        application_domain: Intended workload domain.
+        height_u: Chassis height in rack units.
+        system_organization: Human-readable modular breakdown, e.g.
+            ``"15 row x 3 cartridge x 4 socket"``.
+        total_sockets: Socket count in the chassis.
+        socket_tdp_w: Per-socket TDP, W.
+        cpu: Processor product name.
+        degree_of_coupling: Maximum number of sockets a fully upstream
+            socket can thermally influence.
+    """
+
+    organization: str
+    system: str
+    details: str
+    application_domain: str
+    height_u: int
+    system_organization: str
+    total_sockets: int
+    socket_tdp_w: float
+    cpu: str
+    degree_of_coupling: int
+
+    def __post_init__(self) -> None:
+        if self.height_u <= 0:
+            raise ConfigurationError("height_u must be positive")
+        if self.total_sockets <= 0:
+            raise ConfigurationError("total_sockets must be positive")
+        if self.socket_tdp_w <= 0:
+            raise ConfigurationError("socket_tdp_w must be positive")
+        if self.degree_of_coupling < 1:
+            raise ConfigurationError("degree_of_coupling must be >= 1")
+
+    @property
+    def sockets_per_u(self) -> float:
+        """Socket density, sockets per rack unit."""
+        return self.total_sockets / self.height_u
+
+    @property
+    def power_per_u_w(self) -> float:
+        """Aggregate socket TDP per rack unit, W/U."""
+        return self.total_sockets * self.socket_tdp_w / self.height_u
+
+
+#: Table I of the paper, verbatim.
+TABLE_I_SYSTEMS: Tuple[DensityOptimizedSystem, ...] = (
+    DensityOptimizedSystem(
+        organization="QCT/Facebook",
+        system="Rackgo X",
+        details="Open compute server",
+        application_domain="General purpose",
+        height_u=2,
+        system_organization="2 tray x 3 blade x 2 socket",
+        total_sockets=12,
+        socket_tdp_w=45.0,
+        cpu="Intel Xeon D-1500",
+        degree_of_coupling=1,
+    ),
+    DensityOptimizedSystem(
+        organization="AMD",
+        system="AMD SeaMicro",
+        details="SM15000e-OP",
+        application_domain="Scale-out applications",
+        height_u=10,
+        system_organization="4 row x 16 card x 1 socket",
+        total_sockets=64,
+        socket_tdp_w=140.0,
+        cpu="AMD Opteron 6300",
+        degree_of_coupling=1,
+    ),
+    DensityOptimizedSystem(
+        organization="Cisco",
+        system="UCS M4308",
+        details="M2814",
+        application_domain="Scale-out applications",
+        height_u=2,
+        system_organization="2 row x 2 card x 2 socket",
+        total_sockets=8,
+        socket_tdp_w=120.0,
+        cpu="Intel Xeon E5",
+        degree_of_coupling=1,
+    ),
+    DensityOptimizedSystem(
+        organization="HP Enterprise",
+        system="Moonshot",
+        details="ProLiant M710P",
+        application_domain="Big data analytics",
+        height_u=4,
+        system_organization="15 row x 3 cartridge x 1 socket",
+        total_sockets=45,
+        socket_tdp_w=69.0,
+        cpu="Intel Xeon E3",
+        degree_of_coupling=2,
+    ),
+    DensityOptimizedSystem(
+        organization="Dell",
+        system="Copper",
+        details="Prototype system",
+        application_domain="Scale-out applications",
+        height_u=3,
+        system_organization="12 sled x 4 socket",
+        total_sockets=48,
+        socket_tdp_w=15.0,
+        cpu="32-bit ARM",
+        degree_of_coupling=3,
+    ),
+    DensityOptimizedSystem(
+        organization="Mitac",
+        system="Datun project",
+        details="Prototype system",
+        application_domain="Scale-out applications",
+        height_u=1,
+        system_organization="2 row x 4 socket",
+        total_sockets=8,
+        socket_tdp_w=50.0,
+        cpu="Applied Micro X-Gene",
+        degree_of_coupling=3,
+    ),
+    DensityOptimizedSystem(
+        organization="Seamicro",
+        system="SeaMicro",
+        details="SM15000-64",
+        application_domain="Scale-out applications",
+        height_u=10,
+        system_organization="4 row x 16 card x 4 socket",
+        total_sockets=256,
+        socket_tdp_w=8.5,
+        cpu="Intel Atom N570",
+        degree_of_coupling=3,
+    ),
+    DensityOptimizedSystem(
+        organization="HP Enterprise",
+        system="Moonshot",
+        details="ProLiant M350",
+        application_domain="Web hosting",
+        height_u=4,
+        system_organization="15 row x 3 cartridge x 4 socket",
+        total_sockets=180,
+        socket_tdp_w=20.0,
+        cpu="Intel Atom C2750",
+        degree_of_coupling=5,
+    ),
+    DensityOptimizedSystem(
+        organization="HP Enterprise",
+        system="Moonshot",
+        details="ProLiant M700",
+        application_domain="Virtual desktop (VDI)",
+        height_u=4,
+        system_organization="15 row x 3 cartridge x 4 socket",
+        total_sockets=180,
+        socket_tdp_w=22.0,
+        cpu="AMD Opteron X2150",
+        degree_of_coupling=5,
+    ),
+    DensityOptimizedSystem(
+        organization="HP Enterprise",
+        system="Moonshot",
+        details="ProLiant M800",
+        application_domain="Digital signal processing",
+        height_u=4,
+        system_organization="15 row x 3 cartridge x 4 socket",
+        total_sockets=180,
+        socket_tdp_w=14.0,
+        cpu="TI Keystone II",
+        degree_of_coupling=5,
+    ),
+    DensityOptimizedSystem(
+        organization="HP",
+        system="Redstone",
+        details="Development server",
+        application_domain="Scale-out applications",
+        height_u=4,
+        system_organization="4 tray x 6 row x 3 cartridge x 4 socket",
+        total_sockets=288,
+        socket_tdp_w=5.0,
+        cpu="Calxeda EnergyCore",
+        degree_of_coupling=11,
+    ),
+)
+
+
+def find_system(details: str) -> DensityOptimizedSystem:
+    """Look up a Table I system by its ``details`` string.
+
+    Raises:
+        ConfigurationError: if no system matches.
+    """
+    for system in TABLE_I_SYSTEMS:
+        if system.details == details:
+            return system
+    raise ConfigurationError(f"no Table I system with details {details!r}")

@@ -1,0 +1,123 @@
+"""Processor specifications and DVFS frequency ladders.
+
+The SUT socket is the AMD Opteron X2150: 22 W TDP, P-states from
+1100 MHz to 1900 MHz in 200 MHz steps.  The top two states (1700 and
+1900 MHz) are opportunistic boost states; a fully loaded socket at
+reasonable ambient temperature is only expected to sustain 1500 MHz
+(paper Section III-D, citing the BKDG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrequencyLadder:
+    """An ordered set of DVFS states.
+
+    Attributes:
+        states_mhz: Available frequencies in ascending order, MHz.
+        sustained_mhz: Highest non-boost frequency; states above it are
+            opportunistic boost states used when thermal headroom exists.
+    """
+
+    states_mhz: Tuple[int, ...]
+    sustained_mhz: int
+
+    def __post_init__(self) -> None:
+        if len(self.states_mhz) < 1:
+            raise ConfigurationError("a frequency ladder needs >= 1 state")
+        if list(self.states_mhz) != sorted(set(self.states_mhz)):
+            raise ConfigurationError(
+                "frequency states must be strictly ascending"
+            )
+        if self.sustained_mhz not in self.states_mhz:
+            raise ConfigurationError(
+                f"sustained frequency {self.sustained_mhz} MHz is not a "
+                f"ladder state"
+            )
+
+    @property
+    def min_mhz(self) -> int:
+        """Lowest available frequency, MHz."""
+        return self.states_mhz[0]
+
+    @property
+    def max_mhz(self) -> int:
+        """Highest available frequency (top boost state), MHz."""
+        return self.states_mhz[-1]
+
+    @property
+    def boost_states_mhz(self) -> Tuple[int, ...]:
+        """Frequencies above the sustained state, MHz."""
+        return tuple(
+            f for f in self.states_mhz if f > self.sustained_mhz
+        )
+
+    def is_boost(self, mhz: int) -> bool:
+        """Whether ``mhz`` is a boost state."""
+        return mhz > self.sustained_mhz
+
+    def highest_not_above(self, mhz_limit: float) -> int:
+        """Highest ladder state not exceeding ``mhz_limit``.
+
+        Falls back to the minimum state when even it exceeds the limit
+        (the power manager never stops the clock entirely).
+        """
+        best = self.states_mhz[0]
+        for state in self.states_mhz:
+            if state <= mhz_limit:
+                best = state
+        return best
+
+    def step_down(self, mhz: int) -> int:
+        """The next lower state, or the minimum state if already there."""
+        if mhz not in self.states_mhz:
+            raise ConfigurationError(f"{mhz} MHz is not a ladder state")
+        index = self.states_mhz.index(mhz)
+        return self.states_mhz[max(index - 1, 0)]
+
+    def step_up(self, mhz: int) -> int:
+        """The next higher state, or the maximum state if already there."""
+        if mhz not in self.states_mhz:
+            raise ConfigurationError(f"{mhz} MHz is not a ladder state")
+        index = self.states_mhz.index(mhz)
+        return self.states_mhz[min(index + 1, len(self.states_mhz) - 1)]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """A CPU socket product, as listed in Table I.
+
+    Attributes:
+        name: Marketing name.
+        tdp_w: Thermal design power, W.
+        ladder: DVFS ladder; None for catalog-only parts we never
+            simulate in detail.
+    """
+
+    name: str
+    tdp_w: float
+    ladder: "FrequencyLadder | None" = None
+
+    def __post_init__(self) -> None:
+        if self.tdp_w <= 0:
+            raise ConfigurationError(
+                f"TDP must be positive, got {self.tdp_w}"
+            )
+
+
+#: The SUT processor's DVFS ladder (product data sheet / BKDG).
+X2150_LADDER = FrequencyLadder(
+    states_mhz=(1100, 1300, 1500, 1700, 1900),
+    sustained_mhz=1500,
+)
+
+#: The SUT processor: AMD Opteron X2150, 22 W TDP.
+OPTERON_X2150 = ProcessorSpec(
+    name="AMD Opteron X2150", tdp_w=22.0, ladder=X2150_LADDER
+)

@@ -1,0 +1,193 @@
+"""Rack-level thermal model: vertical coupling between chassis.
+
+The paper situates dense servers inside the wider data-center thermal
+problem: "at the data-center level, thermal coupling occurs vertically
+among servers in a rack" (Choi et al.).  This module models that outer
+layer with the same first-law machinery used inside the chassis: part
+of each chassis's exhaust heat recirculates into the intake of the
+chassis above it, so the intra-server inlet temperature (Table III's
+18 degC) is really a function of rack placement and the load of the
+chassis below.
+
+The model composes with the socket-level simulation: compute per-chassis
+inlet temperatures here, then run :class:`repro.sim.engine.Simulation`
+per chassis with ``params.with_overrides(inlet_c=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import TopologyError
+from ..units import AIR_HEATING_CONSTANT
+
+
+@dataclass(frozen=True)
+class ChassisSlot:
+    """One chassis position in the rack, bottom first.
+
+    Attributes:
+        name: Identifier (e.g. ``"chassis-0"``).
+        airflow_cfm: Chassis airflow, CFM.
+        max_power_w: Power at full load, W.
+    """
+
+    name: str
+    airflow_cfm: float = 400.0
+    max_power_w: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.airflow_cfm <= 0:
+            raise TopologyError("chassis airflow must be positive")
+        if self.max_power_w <= 0:
+            raise TopologyError("chassis power must be positive")
+
+    def exhaust_rise_c(self, power_w: float) -> float:
+        """Outlet-inlet temperature rise at a power draw, degC."""
+        if power_w < 0:
+            raise TopologyError("power must be non-negative")
+        return AIR_HEATING_CONSTANT * power_w / self.airflow_cfm
+
+
+class RackModel:
+    """A stack of chassis with upward exhaust recirculation.
+
+    Attributes:
+        slots: Chassis from bottom to top.
+        room_inlet_c: Cold-aisle air temperature, degC.
+        recirculation: Fraction of a chassis's exhaust temperature rise
+            that reaches the intake of the chassis directly above
+            (0 = perfect containment).
+    """
+
+    def __init__(
+        self,
+        slots: Sequence[ChassisSlot],
+        room_inlet_c: float = 18.0,
+        recirculation: float = 0.15,
+    ):
+        if not slots:
+            raise TopologyError("a rack needs >= 1 chassis")
+        if not 0.0 <= recirculation < 1.0:
+            raise TopologyError("recirculation must lie in [0, 1)")
+        self.slots = list(slots)
+        self.room_inlet_c = room_inlet_c
+        self.recirculation = recirculation
+
+    @property
+    def n_chassis(self) -> int:
+        """Number of chassis in the rack."""
+        return len(self.slots)
+
+    def chassis_inlets(
+        self, power_w: Sequence[float]
+    ) -> np.ndarray:
+        """Intake air temperature of each chassis, bottom first.
+
+        The bottom chassis breathes cold-aisle air; each higher chassis
+        additionally ingests a fraction of the (cumulative) exhaust
+        excess of the chassis below it.
+
+        Raises:
+            TopologyError: for a power vector of the wrong length.
+        """
+        powers = list(power_w)
+        if len(powers) != self.n_chassis:
+            raise TopologyError(
+                f"expected {self.n_chassis} powers, got {len(powers)}"
+            )
+        inlets = np.empty(self.n_chassis)
+        inlets[0] = self.room_inlet_c
+        for i in range(1, self.n_chassis):
+            below = self.slots[i - 1]
+            outlet_excess = (
+                inlets[i - 1]
+                - self.room_inlet_c
+                + below.exhaust_rise_c(powers[i - 1])
+            )
+            inlets[i] = (
+                self.room_inlet_c
+                + self.recirculation * outlet_excess
+            )
+        return inlets
+
+    def worst_inlet_c(self, power_w: Sequence[float]) -> float:
+        """Hottest chassis intake for a power distribution, degC."""
+        return float(self.chassis_inlets(power_w).max())
+
+    def assign_load(
+        self, total_load: float, policy: str = "top-down"
+    ) -> List[float]:
+        """Distribute a rack-level load across chassis.
+
+        Policies mirror the paper's intra-server findings one level up:
+
+        - ``"top-down"`` — fill from the top chassis (whose exhaust
+          recirculates onto nobody) downward: the rack-level analogue
+          of HF/MinHR.
+        - ``"bottom-up"`` — fill from the bottom (the naive/cable-
+          friendly default): every loaded chassis pre-heats the ones
+          above.
+        - ``"uniform"`` — spread evenly.
+
+        Args:
+            total_load: Rack load in [0, n_chassis] chassis-equivalents.
+            policy: One of the documented policies.
+
+        Returns:
+            Per-chassis load fractions in [0, 1], bottom first.
+
+        Raises:
+            TopologyError: for unknown policies or out-of-range loads.
+        """
+        if not 0.0 <= total_load <= self.n_chassis:
+            raise TopologyError(
+                f"rack load must lie in [0, {self.n_chassis}]"
+            )
+        loads = [0.0] * self.n_chassis
+        if policy == "uniform":
+            return [total_load / self.n_chassis] * self.n_chassis
+        if policy == "top-down":
+            order = range(self.n_chassis - 1, -1, -1)
+        elif policy == "bottom-up":
+            order = range(self.n_chassis)
+        else:
+            raise TopologyError(f"unknown rack policy {policy!r}")
+        remaining = total_load
+        for index in order:
+            loads[index] = min(remaining, 1.0)
+            remaining -= loads[index]
+            if remaining <= 0:
+                break
+        return loads
+
+    def inlets_for_load(
+        self, total_load: float, policy: str = "top-down"
+    ) -> np.ndarray:
+        """Chassis inlets after distributing a load with a policy."""
+        loads = self.assign_load(total_load, policy)
+        powers = [
+            load * slot.max_power_w
+            for load, slot in zip(loads, self.slots)
+        ]
+        return self.chassis_inlets(powers)
+
+
+def moonshot_rack(
+    n_chassis: int = 8,
+    room_inlet_c: float = 18.0,
+    recirculation: float = 0.15,
+) -> RackModel:
+    """A rack of Moonshot-like 4U chassis (8 x 4U fills 32U of rack)."""
+    slots = [
+        ChassisSlot(
+            name=f"chassis-{i}", airflow_cfm=400.0, max_power_w=3600.0
+        )
+        for i in range(n_chassis)
+    ]
+    return RackModel(
+        slots, room_inlet_c=room_inlet_c, recirculation=recirculation
+    )

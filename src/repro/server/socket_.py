@@ -1,0 +1,44 @@
+"""Socket specification: processor + heat sink + idle behaviour."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..thermal.heatsink import HeatSink
+from .processors import ProcessorSpec
+
+#: Fraction of TDP a power-gated idle socket still draws (paper §III-D).
+DEFAULT_GATED_POWER_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """A populated socket in a density optimized server.
+
+    Attributes:
+        processor: The CPU product installed in the socket.
+        sink: The heat sink bolted onto it (18- or 30-fin in the SUT).
+        gated_power_fraction: Fraction of TDP drawn while power gated.
+    """
+
+    processor: ProcessorSpec
+    sink: HeatSink
+    gated_power_fraction: float = DEFAULT_GATED_POWER_FRACTION
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gated_power_fraction < 1.0:
+            raise ConfigurationError(
+                "gated power fraction must lie in [0, 1), got "
+                f"{self.gated_power_fraction}"
+            )
+
+    @property
+    def tdp_w(self) -> float:
+        """Socket TDP, W."""
+        return self.processor.tdp_w
+
+    @property
+    def gated_power_w(self) -> float:
+        """Power drawn while idle and power gated, W."""
+        return self.gated_power_fraction * self.processor.tdp_w

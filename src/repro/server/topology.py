@@ -1,0 +1,354 @@
+"""Server topology: sockets organised into lanes, cartridges and zones.
+
+The SUT (Figure 12) has 15 rows; each row holds 3 cartridges in series
+along the airflow direction, and each cartridge holds 4 sockets in a
+2 x 2 arrangement — 2 side-by-side *lanes* of 2 sockets deep.  A lane
+therefore contains a chain of 6 thermally coupled sockets; the chain is
+divided into zones 1-6, with odd zones carrying the 18-fin heat sink and
+even zones the better 30-fin sink.  Sockets within a cartridge sit 1.6 in
+apart; adjacent cartridges are ~3 in apart, so inter-cartridge coupling
+is weaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TopologyError
+from ..thermal.coupling import (
+    CouplingChain,
+    DEFAULT_INTER_CARTRIDGE_DECAY,
+    DEFAULT_INTRA_CARTRIDGE_DECAY,
+    DEFAULT_MIXING_FACTOR,
+    CouplingMatrix,
+)
+from ..thermal.heatsink import FIN_18, FIN_30, HeatSink
+from .processors import OPTERON_X2150, ProcessorSpec
+from .socket_ import SocketSpec
+
+#: Airflow over each socket in the SUT, CFM (Table III, Icepak-derived).
+DEFAULT_SOCKET_AIRFLOW_CFM = 6.35
+
+#: Spacing between sockets within a cartridge, inches.
+INTRA_CARTRIDGE_SPACING_IN = 1.6
+
+#: Spacing between adjacent sockets of neighbouring cartridges, inches.
+INTER_CARTRIDGE_SPACING_IN = 3.0
+
+#: Vertical spacing between stacked rows, inches (15 rows in 4U = 7 in).
+ROW_SPACING_IN = 0.47
+
+#: Lateral spacing between the two lanes of a cartridge, inches.
+LANE_SPACING_IN = 2.0
+
+
+@dataclass(frozen=True)
+class SocketSite:
+    """One physical socket position in the server.
+
+    Attributes:
+        socket_id: Global index, 0-based.
+        row: Row of cartridges this socket belongs to, 0-based.
+        lane: Side-by-side lane within the row, 0-based.
+        chain_pos: Position along the airflow direction, 0 = most
+            upstream.
+        zone: 1-based zone number (``chain_pos + 1``), per Figure 12.
+        cartridge: Cartridge index along the airflow direction, 0-based.
+        x_in: Distance from the air inlet, inches.
+        y_in: Vertical position (row stacking), inches.
+        z_in: Lateral position (lane), inches.
+        spec: Socket specification (processor + heat sink).
+    """
+
+    socket_id: int
+    row: int
+    lane: int
+    chain_pos: int
+    zone: int
+    cartridge: int
+    x_in: float
+    y_in: float
+    z_in: float
+    spec: SocketSpec
+
+    @property
+    def sink(self) -> HeatSink:
+        """Heat sink at this site."""
+        return self.spec.sink
+
+    def distance_to(self, other: "SocketSite") -> float:
+        """Euclidean distance to another site, inches."""
+        return float(
+            np.sqrt(
+                (self.x_in - other.x_in) ** 2
+                + (self.y_in - other.y_in) ** 2
+                + (self.z_in - other.z_in) ** 2
+            )
+        )
+
+
+def _chain_x_positions(chain_length: int, sockets_per_cartridge: int) -> List[float]:
+    """Distance of each chain position from the inlet, inches."""
+    positions = []
+    x = 0.0
+    for pos in range(chain_length):
+        if pos > 0:
+            within = pos % sockets_per_cartridge != 0
+            x += (
+                INTRA_CARTRIDGE_SPACING_IN
+                if within
+                else INTER_CARTRIDGE_SPACING_IN
+            )
+        positions.append(x)
+    return positions
+
+
+class ServerTopology:
+    """A grid of thermally coupled socket lanes.
+
+    The topology owns geometry only: which sockets exist, where they sit,
+    which sink each carries, and how lanes chain along the airflow
+    direction.  Thermal state and scheduling live elsewhere.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        lanes_per_row: int,
+        chain_length: int,
+        processor: ProcessorSpec = OPTERON_X2150,
+        sockets_per_cartridge_depth: int = 2,
+        socket_airflow_cfm: float = DEFAULT_SOCKET_AIRFLOW_CFM,
+        mixing_factor: float = DEFAULT_MIXING_FACTOR,
+        intra_cartridge_decay: float = DEFAULT_INTRA_CARTRIDGE_DECAY,
+        inter_cartridge_decay: float = DEFAULT_INTER_CARTRIDGE_DECAY,
+        alternate_sinks: bool = True,
+        uniform_sink: "HeatSink | None" = None,
+        sink_for_site=None,
+    ):
+        """Build a topology.
+
+        Args:
+            n_rows: Number of cartridge rows.
+            lanes_per_row: Independent airflow lanes per row.
+            chain_length: Sockets per lane along the airflow direction.
+            processor: CPU installed in every socket.
+            sockets_per_cartridge_depth: How many chain positions one
+                cartridge spans (2 for the M700).
+            socket_airflow_cfm: Airflow over each socket, CFM.
+            mixing_factor: Local air mixing factor for coupling.
+            intra_cartridge_decay: Excess-air-temperature retention
+                across an intra-cartridge gap.
+            inter_cartridge_decay: Retention across an inter-cartridge
+                gap.
+            alternate_sinks: Give odd zones the 18-fin sink and even
+                zones the 30-fin sink (the M700 arrangement).
+            uniform_sink: If set, install this sink everywhere and ignore
+                ``alternate_sinks`` (used by ablations).
+            sink_for_site: Optional callable ``(row, lane, chain_pos) ->
+                HeatSink`` that overrides every other sink rule (used by
+                the Figure 3 uncoupled configuration, which keeps both
+                sink types without a shared air stream).
+        """
+        if n_rows < 1 or lanes_per_row < 1 or chain_length < 1:
+            raise TopologyError(
+                "rows, lanes and chain length must all be >= 1"
+            )
+        if sockets_per_cartridge_depth < 1:
+            raise TopologyError("cartridge depth must be >= 1")
+        if socket_airflow_cfm <= 0:
+            raise TopologyError("socket airflow must be positive")
+
+        self.n_rows = n_rows
+        self.lanes_per_row = lanes_per_row
+        self.chain_length = chain_length
+        self.processor = processor
+        self.sockets_per_cartridge_depth = sockets_per_cartridge_depth
+        self.socket_airflow_cfm = socket_airflow_cfm
+        self.mixing_factor = mixing_factor
+        self.intra_cartridge_decay = intra_cartridge_decay
+        self.inter_cartridge_decay = inter_cartridge_decay
+
+        x_positions = _chain_x_positions(
+            chain_length, sockets_per_cartridge_depth
+        )
+        sites: List[SocketSite] = []
+        socket_id = 0
+        for row in range(n_rows):
+            for lane in range(lanes_per_row):
+                for pos in range(chain_length):
+                    zone = pos + 1
+                    if sink_for_site is not None:
+                        sink = sink_for_site(row, lane, pos)
+                    elif uniform_sink is not None:
+                        sink = uniform_sink
+                    elif alternate_sinks:
+                        sink = FIN_18 if zone % 2 == 1 else FIN_30
+                    else:
+                        sink = FIN_18
+                    sites.append(
+                        SocketSite(
+                            socket_id=socket_id,
+                            row=row,
+                            lane=lane,
+                            chain_pos=pos,
+                            zone=zone,
+                            cartridge=pos // sockets_per_cartridge_depth,
+                            x_in=x_positions[pos],
+                            y_in=row * ROW_SPACING_IN,
+                            z_in=lane * LANE_SPACING_IN,
+                            spec=SocketSpec(processor=processor, sink=sink),
+                        )
+                    )
+                    socket_id += 1
+        self.sites: Tuple[SocketSite, ...] = tuple(sites)
+
+        # Vectorised per-socket attribute arrays for the simulation engine.
+        self.zone_array = np.array([s.zone for s in self.sites])
+        self.chain_pos_array = np.array([s.chain_pos for s in self.sites])
+        self.row_array = np.array([s.row for s in self.sites])
+        self.lane_array = np.array([s.lane for s in self.sites])
+        self.x_array = np.array([s.x_in for s in self.sites])
+        self.y_array = np.array([s.y_in for s in self.sites])
+        self.z_array = np.array([s.z_in for s in self.sites])
+        self.r_ext_array = np.array([s.sink.r_ext for s in self.sites])
+        self.theta_offset_array = np.array(
+            [s.sink.theta_offset for s in self.sites]
+        )
+        self.theta_slope_array = np.array(
+            [s.sink.theta_slope for s in self.sites]
+        )
+        self.tdp_array = np.array([s.spec.tdp_w for s in self.sites])
+        self.gated_power_array = np.array(
+            [s.spec.gated_power_w for s in self.sites]
+        )
+
+        self._coupling = CouplingMatrix(
+            len(self.sites), self.coupling_chains()
+        )
+
+    @property
+    def n_sockets(self) -> int:
+        """Total socket count."""
+        return len(self.sites)
+
+    @property
+    def n_zones(self) -> int:
+        """Number of zones (equals chain length)."""
+        return self.chain_length
+
+    @property
+    def coupling(self) -> CouplingMatrix:
+        """Whole-server coupling matrix."""
+        return self._coupling
+
+    def coupling_chains(self) -> List[CouplingChain]:
+        """One coupling chain per (row, lane), in airflow order."""
+        chains = []
+        for row in range(self.n_rows):
+            for lane in range(self.lanes_per_row):
+                ids = [
+                    s.socket_id
+                    for s in self.sites
+                    if s.row == row and s.lane == lane
+                ]
+                ids.sort(key=lambda i: self.sites[i].chain_pos)
+                decays = [1.0]
+                for pos in range(1, len(ids)):
+                    within = pos % self.sockets_per_cartridge_depth != 0
+                    decays.append(
+                        self.intra_cartridge_decay
+                        if within
+                        else self.inter_cartridge_decay
+                    )
+                chains.append(
+                    CouplingChain(
+                        socket_ids=ids,
+                        airflow_cfm=self.socket_airflow_cfm,
+                        mixing_factor=self.mixing_factor,
+                        gap_decays=decays,
+                    )
+                )
+        return chains
+
+    def sockets_in_row(self, row: int) -> np.ndarray:
+        """Socket indices of every socket in a row."""
+        if not 0 <= row < self.n_rows:
+            raise TopologyError(f"row {row} out of range 0..{self.n_rows - 1}")
+        return np.nonzero(self.row_array == row)[0]
+
+    def sockets_in_zone(self, zone: int) -> np.ndarray:
+        """Socket indices of every socket in a 1-based zone."""
+        if not 1 <= zone <= self.n_zones:
+            raise TopologyError(
+                f"zone {zone} out of range 1..{self.n_zones}"
+            )
+        return np.nonzero(self.zone_array == zone)[0]
+
+    def front_half_mask(self) -> np.ndarray:
+        """Boolean mask of sockets in the front half of the chain."""
+        return self.zone_array <= (self.n_zones + 1) // 2
+
+    def even_zone_mask(self) -> np.ndarray:
+        """Boolean mask of sockets in even zones (better heat sink)."""
+        return self.zone_array % 2 == 0
+
+    def total_airflow_cfm(self) -> float:
+        """Total airflow through the server, CFM."""
+        return self.socket_airflow_cfm * self.n_rows * self.lanes_per_row
+
+
+def moonshot_sut(
+    processor: ProcessorSpec = OPTERON_X2150,
+    n_rows: int = 15,
+    **kwargs,
+) -> ServerTopology:
+    """The paper's 180-socket Moonshot-M700-like system under test.
+
+    15 rows x 2 lanes x 6 chain positions (3 cartridges of 2 x 2 sockets)
+    with alternating 18-/30-fin sinks.  Pass a smaller ``n_rows`` for
+    scaled-down experiments; all other structure is preserved.
+    """
+    return ServerTopology(
+        n_rows=n_rows,
+        lanes_per_row=2,
+        chain_length=6,
+        processor=processor,
+        sockets_per_cartridge_depth=2,
+        **kwargs,
+    )
+
+
+def two_socket_system(
+    coupled: bool,
+    processor: ProcessorSpec = OPTERON_X2150,
+    **kwargs,
+) -> ServerTopology:
+    """The 2-socket motivational systems of Figure 3.
+
+    ``coupled=True`` arranges both sockets in one airflow chain (like a
+    cartridge): an 18-fin sink upstream, a 30-fin sink downstream.
+    ``coupled=False`` puts each socket in its own lane (like a
+    traditional 1U 2-socket server) — same sinks, no interaction.
+    """
+    if coupled:
+        return ServerTopology(
+            n_rows=1,
+            lanes_per_row=1,
+            chain_length=2,
+            processor=processor,
+            sockets_per_cartridge_depth=2,
+            **kwargs,
+        )
+    return ServerTopology(
+        n_rows=1,
+        lanes_per_row=2,
+        chain_length=1,
+        processor=processor,
+        sockets_per_cartridge_depth=1,
+        sink_for_site=lambda row, lane, pos: FIN_18 if lane == 0 else FIN_30,
+        **kwargs,
+    )

@@ -1,0 +1,36 @@
+"""Discrete-event simulation engine for dense-server scheduling studies.
+
+The engine advances in fixed steps equal to the power-manager interval
+(1 ms in Table III).  Every step it:
+
+1. admits newly arrived jobs to the central queue,
+2. lets the scheduling policy place queued jobs onto idle sockets,
+3. runs the power manager — per socket, the highest DVFS state whose
+   predicted chip temperature stays under the 95 degC limit (boost
+   states additionally require headroom under the boost governor
+   threshold; see :mod:`repro.sim.power_manager`),
+4. retires work on busy sockets at the frequency-dependent rate and
+   records completions (with sub-step interpolation),
+5. advances the two-node thermal model and the inter-socket coupling
+   chain, and
+6. accumulates metrics once past the warm-up window.
+
+All per-socket quantities are numpy arrays, so a step costs a handful of
+vector operations regardless of socket count.
+"""
+
+from .state import SimulationState
+from .power_manager import select_frequencies, predicted_chip_temperature
+from .engine import Simulation
+from .results import SimulationResult
+from .runner import run_once, run_sweep
+
+__all__ = [
+    "SimulationState",
+    "select_frequencies",
+    "predicted_chip_temperature",
+    "Simulation",
+    "SimulationResult",
+    "run_once",
+    "run_sweep",
+]

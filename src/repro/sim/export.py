@@ -1,0 +1,113 @@
+"""Exporting simulation results to JSON / CSV.
+
+Sweep experiments produce many :class:`SimulationResult` objects; these
+helpers flatten them into rows for archival, plotting, or regression
+tracking across runs of the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import SimulationError
+from ..metrics.zones import zone_report
+from ..workloads.benchmark import BenchmarkSet
+from .results import SimulationResult
+
+#: Columns emitted for every run, in order.
+SUMMARY_FIELDS = (
+    "scheduler",
+    "benchmark_set",
+    "load",
+    "n_jobs_completed",
+    "mean_runtime_expansion",
+    "performance",
+    "utilization",
+    "average_power_w",
+    "energy_j",
+    "ed2",
+    "avg_relative_frequency",
+    "boost_share",
+    "front_work",
+    "back_work",
+    "even_work",
+    "max_chip_c",
+    "n_migrations",
+)
+
+
+def result_summary(
+    result: SimulationResult,
+    benchmark_set: "BenchmarkSet | None" = None,
+    load: "float | None" = None,
+) -> Dict[str, object]:
+    """Flatten one run into a JSON-serialisable summary row."""
+    if not result.completed_jobs:
+        raise SimulationError("cannot summarise a run with no jobs")
+    zones = zone_report(result)
+    busy = float(result.busy_time_s.sum())
+    return {
+        "scheduler": result.scheduler_name,
+        "benchmark_set": benchmark_set.value if benchmark_set else None,
+        "load": load,
+        "n_jobs_completed": result.n_jobs_completed,
+        "mean_runtime_expansion": result.mean_runtime_expansion,
+        "performance": result.performance,
+        "utilization": result.utilization,
+        "average_power_w": result.average_power_w,
+        "energy_j": result.energy_j,
+        "ed2": result.ed2_j_s2,
+        "avg_relative_frequency": result.average_relative_frequency(),
+        "boost_share": (
+            float(result.boost_time_s.sum()) / busy if busy > 0 else 0.0
+        ),
+        "front_work": zones.front_work,
+        "back_work": zones.back_work,
+        "even_work": zones.even_work,
+        "max_chip_c": float(result.max_chip_c.max()),
+        "n_migrations": result.n_migrations,
+    }
+
+
+def sweep_summaries(
+    results: Mapping[Tuple[str, BenchmarkSet, float], SimulationResult],
+) -> List[Dict[str, object]]:
+    """Summaries for a :func:`repro.sim.runner.run_sweep` result map."""
+    rows = []
+    for (scheduler, benchmark_set, load), result in sorted(
+        results.items(), key=lambda kv: (kv[0][1].value, kv[0][2], kv[0][0])
+    ):
+        rows.append(result_summary(result, benchmark_set, load))
+    return rows
+
+
+def save_json(
+    results: Mapping[Tuple[str, BenchmarkSet, float], SimulationResult],
+    path: str,
+) -> None:
+    """Write a sweep's summaries to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(sweep_summaries(results), handle, indent=2)
+
+
+def save_csv(
+    results: Mapping[Tuple[str, BenchmarkSet, float], SimulationResult],
+    path: str,
+) -> None:
+    """Write a sweep's summaries to a CSV file."""
+    rows = sweep_summaries(results)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=SUMMARY_FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def load_json(path: str) -> List[Dict[str, object]]:
+    """Read summaries previously written by :func:`save_json`."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise SimulationError(f"{path} does not contain a summary list")
+    return data

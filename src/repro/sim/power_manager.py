@@ -1,0 +1,134 @@
+"""Power manager: DVFS selection and power computation.
+
+The paper's power management policy "emphasizes responsiveness and runs
+jobs at the highest possible frequency within the temperature limit"
+(Table III), evaluated every 1 ms.  Because the on-chip time constant
+(5 ms) is tiny compared to the heat-sink constant (30 s), the chip sits
+in quasi-equilibrium with its sink; the manager therefore grants the
+highest state whose quasi-equilibrium chip temperature
+
+    T_chip = T_sink + P(f) * R_int + theta(P(f))
+
+stays under the 95 degC limit.  Boost states (above the sustained
+1500 MHz) are additionally gated by the boost governor threshold — the
+BKDG-derived rule that a fully loaded socket only *sustains* the highest
+non-boost state, boosting opportunistically while thermal headroom
+exists.
+
+Idle sockets are power gated and draw 10% of TDP.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..config.parameters import SimulationParameters
+from ..server.processors import FrequencyLadder
+from ..workloads.power_model import leakage_power
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def predicted_chip_temperature(
+    sink_c: ArrayLike,
+    power_w: ArrayLike,
+    r_int: float,
+    theta_offset: ArrayLike,
+    theta_slope: ArrayLike,
+) -> ArrayLike:
+    """Quasi-equilibrium chip temperature over the current sink state."""
+    return (
+        np.asarray(sink_c)
+        + np.asarray(power_w) * r_int
+        + np.asarray(theta_offset)
+        + np.asarray(theta_slope) * np.asarray(power_w)
+    )
+
+
+def dynamic_power(
+    freq_mhz: ArrayLike,
+    dyn_max_w: ArrayLike,
+    dyn_exp: ArrayLike,
+    max_mhz: float,
+) -> ArrayLike:
+    """Dynamic power of the running job at ``freq_mhz``, W."""
+    ratio = np.asarray(freq_mhz, dtype=float) / max_mhz
+    return np.asarray(dyn_max_w) * ratio ** np.asarray(dyn_exp)
+
+
+def select_frequencies(
+    sink_c: np.ndarray,
+    chip_c: np.ndarray,
+    dyn_max_w: np.ndarray,
+    dyn_exp: np.ndarray,
+    tdp_w: np.ndarray,
+    theta_offset: np.ndarray,
+    theta_slope: np.ndarray,
+    ladder: FrequencyLadder,
+    params: SimulationParameters,
+) -> np.ndarray:
+    """Per-socket highest allowed frequency, MHz (vectorised).
+
+    Every input is a per-socket array (idle sockets may pass zeros for
+    the job parameters; their result is meaningless and ignored by the
+    engine).  The selection walks the ladder bottom-up, keeping the
+    highest state whose predicted chip temperature respects the 95 degC
+    limit — and, for boost states, the boost governor threshold.  The
+    minimum state is always available (the clock is never stopped).
+    """
+    leak = leakage_power(chip_c, 1.0) * tdp_w  # vector TDP scaling
+    freq = np.full(sink_c.shape, float(ladder.min_mhz))
+    for state in ladder.states_mhz:
+        power = dynamic_power(state, dyn_max_w, dyn_exp, ladder.max_mhz)
+        power = power + leak
+        chip_eq = predicted_chip_temperature(
+            sink_c, power, params.r_int, theta_offset, theta_slope
+        )
+        allowed = chip_eq <= params.temperature_limit_c
+        if ladder.is_boost(state):
+            allowed &= chip_eq <= params.boost_chip_temp_limit_c
+        freq = np.where(allowed, float(state), freq)
+    return freq
+
+
+def select_frequencies_steady(
+    ambient_c: np.ndarray,
+    chip_c: np.ndarray,
+    dyn_max_w: np.ndarray,
+    dyn_exp: np.ndarray,
+    tdp_w: np.ndarray,
+    r_ext: np.ndarray,
+    theta_offset: np.ndarray,
+    theta_slope: np.ndarray,
+    ladder: FrequencyLadder,
+    params: SimulationParameters,
+) -> np.ndarray:
+    """Steady-state frequency prediction from entry air temperature.
+
+    Uses the full Equation 1 (``T = T_amb + P * (R_int + R_ext) +
+    theta``), i.e. the temperature the chip settles at once its heat
+    sink equilibrates — the prediction the paper's Predictive and CP
+    schedulers perform.  Compared to :func:`select_frequencies` (which
+    reflects the instantaneous sink state) the steady view responds
+    smoothly to ambient changes, because each DVFS state's power
+    difference shifts the equilibrium through the external resistance
+    as well.
+    """
+    leak = leakage_power(chip_c, 1.0) * tdp_w
+    freq = np.full(ambient_c.shape, float(ladder.min_mhz))
+    for state in ladder.states_mhz:
+        power = dynamic_power(state, dyn_max_w, dyn_exp, ladder.max_mhz)
+        power = power + leak
+        chip_ss = (
+            ambient_c
+            + power * (params.r_int + r_ext)
+            + theta_offset
+            + theta_slope * power
+        )
+        allowed = chip_ss <= params.temperature_limit_c
+        if ladder.is_boost(state):
+            allowed &= chip_ss <= params.boost_chip_temp_limit_c
+        freq = np.where(allowed, float(state), freq)
+    return freq

@@ -1,0 +1,62 @@
+"""Convenience entry points for running simulations and sweeps."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..config.parameters import SimulationParameters
+from ..server.topology import ServerTopology
+from ..workloads.arrivals import ArrivalProcess
+from ..workloads.benchmark import BenchmarkSet
+from .engine import Simulation
+from .results import SimulationResult
+
+
+def run_once(
+    topology: ServerTopology,
+    params: SimulationParameters,
+    scheduler,
+    benchmark_set: BenchmarkSet,
+    load: float,
+) -> SimulationResult:
+    """Run one (scheduler, benchmark set, load) configuration.
+
+    The job stream is generated from the parameters' seed, so every
+    scheduler evaluated with the same ``params`` sees the *identical*
+    workload — the paper's comparison methodology.
+    """
+    arrivals = ArrivalProcess(
+        benchmark_set=benchmark_set,
+        load=load,
+        n_sockets=topology.n_sockets,
+        seed=params.seed,
+        duration_scale=params.duration_scale,
+    )
+    jobs = arrivals.generate(params.sim_time_s)
+    return Simulation(topology, params, scheduler).run(jobs)
+
+
+def run_sweep(
+    topology: ServerTopology,
+    params: SimulationParameters,
+    scheduler_names: Sequence[str],
+    benchmark_sets: Sequence[BenchmarkSet],
+    loads: Sequence[float],
+) -> Dict[Tuple[str, BenchmarkSet, float], SimulationResult]:
+    """Run the full cross product of schedulers, sets and loads.
+
+    Returns:
+        Mapping from ``(scheduler name, benchmark set, load)`` to the
+        run's :class:`SimulationResult`.
+    """
+    from ..core import get_scheduler  # local import: avoids cycle
+
+    results: Dict[Tuple[str, BenchmarkSet, float], SimulationResult] = {}
+    for benchmark_set in benchmark_sets:
+        for load in loads:
+            for name in scheduler_names:
+                scheduler = get_scheduler(name)
+                results[(name, benchmark_set, load)] = run_once(
+                    topology, params, scheduler, benchmark_set, load
+                )
+    return results

@@ -1,0 +1,134 @@
+"""Airflow requirements and fan modeling (paper Table II).
+
+The paper derives total server airflow from the hot-aisle constraint: the
+outlet-inlet air temperature difference must not exceed ~20 degC (ASHRAE
+TC 9.9; Facebook runs 29 degC inlets with up to 49 degC hot aisles).  The
+required airflow follows from the first law of thermodynamics, and
+Table II lists the result for each server class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ThermalModelError
+from ..units import airflow_for_power
+
+#: Default outlet-inlet temperature budget, degC (ASHRAE / Facebook).
+DEFAULT_DELTA_T_C = 20.0
+
+#: Average power per 1U by server class (paper Section I / Table II), W.
+SERVER_CLASS_POWER_PER_U: Dict[str, float] = {
+    "1U": 208.0,
+    "2U": 147.0,
+    "Other": 114.0,
+    "Blade": 421.0,
+    "DensityOpt": 588.0,
+}
+
+
+def server_airflow_requirement(
+    power_per_u_w: float, delta_t_c: float = DEFAULT_DELTA_T_C
+) -> float:
+    """Airflow in CFM per 1U needed to hold the outlet temperature budget.
+
+    Matches Table II: 208 W -> 18.30 CFM, 147 -> 12.94, 114 -> 10.03,
+    421 -> 37.05, 588 -> 51.74 (all at delta_t = 20 degC).
+    """
+    return airflow_for_power(power_per_u_w, delta_t_c)
+
+
+def airflow_table(
+    delta_t_c: float = DEFAULT_DELTA_T_C,
+) -> List[Tuple[str, float, float]]:
+    """Reproduce Table II as (server class, power/U, CFM/U) rows."""
+    return [
+        (name, power, server_airflow_requirement(power, delta_t_c))
+        for name, power in SERVER_CLASS_POWER_PER_U.items()
+    ]
+
+
+@dataclass(frozen=True)
+class FanModel:
+    """A simple high-end server fan similar to the HP ActiveCool design.
+
+    The ActiveCool fan the paper references can deliver high static
+    pressure airflow at reasonable power.  We model the delivered flow as
+    a linear function of fan speed with a cubic power law, which is the
+    standard affinity-law approximation.
+
+    Attributes:
+        name: Identifier of the fan.
+        max_cfm: Flow delivered at 100% speed, CFM.
+        max_power_w: Electrical power drawn at 100% speed, W.
+    """
+
+    name: str = "ActiveCool-like"
+    max_cfm: float = 100.0
+    max_power_w: float = 35.0
+
+    def __post_init__(self) -> None:
+        if self.max_cfm <= 0:
+            raise ThermalModelError(
+                f"max_cfm must be positive, got {self.max_cfm}"
+            )
+        if self.max_power_w <= 0:
+            raise ThermalModelError(
+                f"max_power_w must be positive, got {self.max_power_w}"
+            )
+
+    def flow_at(self, speed_fraction: float) -> float:
+        """Delivered airflow (CFM) at a fan speed in [0, 1]."""
+        self._check_speed(speed_fraction)
+        return self.max_cfm * speed_fraction
+
+    def power_at(self, speed_fraction: float) -> float:
+        """Electrical power (W) at a fan speed in [0, 1] (affinity law)."""
+        self._check_speed(speed_fraction)
+        return self.max_power_w * speed_fraction**3
+
+    def speed_for_flow(self, cfm: float) -> float:
+        """Fan speed fraction needed to deliver ``cfm``.
+
+        Raises:
+            ThermalModelError: if the request exceeds the fan's capacity.
+        """
+        if cfm < 0:
+            raise ThermalModelError(f"flow must be non-negative, got {cfm}")
+        if cfm > self.max_cfm:
+            raise ThermalModelError(
+                f"requested {cfm} CFM exceeds fan capacity {self.max_cfm}"
+            )
+        return cfm / self.max_cfm
+
+    @staticmethod
+    def _check_speed(speed_fraction: float) -> None:
+        if not 0.0 <= speed_fraction <= 1.0:
+            raise ThermalModelError(
+                f"fan speed must be in [0, 1], got {speed_fraction}"
+            )
+
+
+def fans_for_server(
+    total_cfm: float, fan: FanModel, utilization: float = 0.8
+) -> int:
+    """Number of fans needed to provision ``total_cfm``.
+
+    Fans are sized to run at ``utilization`` of max speed at peak demand,
+    leaving headroom for altitude and filter aging.
+
+    Raises:
+        ThermalModelError: if inputs are out of range.
+    """
+    if total_cfm < 0:
+        raise ThermalModelError(f"flow must be non-negative, got {total_cfm}")
+    if not 0.0 < utilization <= 1.0:
+        raise ThermalModelError(
+            f"utilization must be in (0, 1], got {utilization}"
+        )
+    per_fan = fan.max_cfm * utilization
+    count = int(total_cfm // per_fan)
+    if count * per_fan < total_cfm:
+        count += 1
+    return max(count, 1)

@@ -1,0 +1,169 @@
+"""Analytical model of socket entry temperature (paper Section II-B).
+
+The paper builds a closed-form heat-transfer model to study how socket
+power, per-socket airflow and the *degree of coupling* shape the air
+temperature arriving at each socket.  The degree of coupling ``D`` is the
+maximum number of sockets that a fully upstream socket can thermally
+influence, i.e. a chain of ``D + 1`` sockets share one air stream.
+
+With every socket consuming ``P`` watts and per-socket airflow ``V`` CFM,
+the entry temperature of the k-th socket in the chain (k = 0 upstream) is
+
+.. math::
+
+    T_{entry}[k] = T_{inlet} + k \\cdot 1.76 \\cdot P / V
+
+This module reproduces Figure 5: mean entry temperature and the
+coefficient of variation of entry temperatures as functions of the degree
+of coupling for a grid of socket powers and airflow levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ThermalModelError
+from ..units import AIR_HEATING_CONSTANT
+
+#: Default server inlet temperature (Table III), degC.
+DEFAULT_INLET_C = 18.0
+
+
+def entry_temperature_profile(
+    degree_of_coupling: int,
+    power_w: float,
+    airflow_cfm: float,
+    inlet_c: float = DEFAULT_INLET_C,
+    mixing_factor: float = 1.0,
+) -> np.ndarray:
+    """Entry temperatures along a coupled chain, upstream first.
+
+    Args:
+        degree_of_coupling: Number of downstream sockets influenced by
+            the most upstream socket; the chain has ``degree + 1``
+            sockets.
+        power_w: Power of every socket in the chain, W.
+        airflow_cfm: Airflow over each socket, CFM.
+        inlet_c: Server inlet air temperature, degC.
+        mixing_factor: Optional local mixing factor (1.0 reproduces the
+            paper's well-mixed analytical model).
+
+    Returns:
+        Array of ``degree + 1`` entry temperatures in degC.
+
+    Raises:
+        ThermalModelError: for out-of-range inputs.
+    """
+    if degree_of_coupling < 0:
+        raise ThermalModelError(
+            f"degree of coupling must be >= 0, got {degree_of_coupling}"
+        )
+    if power_w < 0:
+        raise ThermalModelError(f"power must be non-negative, got {power_w}")
+    if airflow_cfm <= 0:
+        raise ThermalModelError(
+            f"airflow must be positive, got {airflow_cfm}"
+        )
+    if mixing_factor <= 0:
+        raise ThermalModelError(
+            f"mixing factor must be positive, got {mixing_factor}"
+        )
+    per_socket_rise = (
+        mixing_factor * AIR_HEATING_CONSTANT * power_w / airflow_cfm
+    )
+    positions = np.arange(degree_of_coupling + 1, dtype=float)
+    return inlet_c + positions * per_socket_rise
+
+
+@dataclass(frozen=True)
+class EntryTemperatureStatistics:
+    """Summary statistics of a chain's entry temperature profile.
+
+    Attributes:
+        mean_c: Mean socket entry temperature, degC.
+        std_c: Standard deviation across sockets, degC.
+        cov: Coefficient of variation (std / mean) of the absolute entry
+            temperatures, the metric Figure 5(b) plots.
+        max_c: Entry temperature of the most downstream socket, degC.
+        mean_rise_c: Mean entry temperature rise above inlet, degC.
+    """
+
+    mean_c: float
+    std_c: float
+    cov: float
+    max_c: float
+    mean_rise_c: float
+
+
+def entry_temperature_statistics(
+    degree_of_coupling: int,
+    power_w: float,
+    airflow_cfm: float,
+    inlet_c: float = DEFAULT_INLET_C,
+    mixing_factor: float = 1.0,
+) -> EntryTemperatureStatistics:
+    """Figure 5 statistics for one (degree, power, airflow) design point."""
+    profile = entry_temperature_profile(
+        degree_of_coupling, power_w, airflow_cfm, inlet_c, mixing_factor
+    )
+    mean = float(profile.mean())
+    std = float(profile.std())
+    return EntryTemperatureStatistics(
+        mean_c=mean,
+        std_c=std,
+        cov=std / mean if mean > 0 else 0.0,
+        max_c=float(profile.max()),
+        mean_rise_c=mean - inlet_c,
+    )
+
+
+@dataclass(frozen=True)
+class EntryTemperatureModel:
+    """Sweep helper that evaluates the analytical model over a design grid.
+
+    Attributes:
+        inlet_c: Server inlet temperature, degC.
+        mixing_factor: Local mixing factor applied to the first-law rise.
+    """
+
+    inlet_c: float = DEFAULT_INLET_C
+    mixing_factor: float = 1.0
+
+    def sweep(
+        self,
+        degrees: Sequence[int],
+        powers_w: Sequence[float],
+        airflows_cfm: Sequence[float],
+    ) -> list:
+        """Evaluate every (degree, power, airflow) combination.
+
+        Returns:
+            A list of dictionaries, one per design point, with keys
+            ``degree``, ``power_w``, ``airflow_cfm``, ``mean_entry_c``,
+            ``cov`` and ``max_entry_c`` — the series Figure 5 plots.
+        """
+        rows = []
+        for degree in degrees:
+            for power in powers_w:
+                for airflow in airflows_cfm:
+                    stats = entry_temperature_statistics(
+                        degree,
+                        power,
+                        airflow,
+                        self.inlet_c,
+                        self.mixing_factor,
+                    )
+                    rows.append(
+                        {
+                            "degree": degree,
+                            "power_w": power,
+                            "airflow_cfm": airflow,
+                            "mean_entry_c": stats.mean_c,
+                            "cov": stats.cov,
+                            "max_entry_c": stats.max_c,
+                        }
+                    )
+        return rows

@@ -1,0 +1,118 @@
+"""The paper's simplified peak chip temperature model (Equation 1).
+
+.. math::
+
+    T_{peak} = T_{amb} + P \\cdot (R_{int} + R_{ext})
+               + \\theta(P, \\text{sink})
+
+where :math:`R_{int}` is the chip-internal resistance (die to heat-sink
+base), :math:`R_{ext}` the heat-sink external resistance, and
+:math:`\\theta` an empirically fitted linear correction.  The model
+ignores lateral on-die resistance, which Figure 9 of the paper shows is
+justified for the ~100 mm^2 Opteron X2150 die (hot-cold spreads of only
+4-7 degC).  Figure 10 validates this model to within 2 degC of a detailed
+reference model; our reproduction of that validation lives in
+:mod:`repro.experiments.fig10_model_validation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ThermalModelError
+from .heatsink import HeatSink
+
+#: Chip internal thermal resistance from Table III, degC/W.
+DEFAULT_R_INT = 0.205
+
+
+def peak_temperature(
+    ambient_c: float,
+    power_w: float,
+    sink: HeatSink,
+    r_int: float = DEFAULT_R_INT,
+) -> float:
+    """Steady-state peak chip temperature per Equation 1.
+
+    Args:
+        ambient_c: Socket ambient (entry air) temperature, degC.
+        power_w: Total socket power, W.
+        sink: Heat sink installed on the socket.
+        r_int: Chip internal thermal resistance, degC/W.
+
+    Returns:
+        Peak die temperature in degC.
+
+    Raises:
+        ThermalModelError: for negative power or non-positive resistance.
+    """
+    if power_w < 0:
+        raise ThermalModelError(f"power must be non-negative, got {power_w}")
+    if r_int <= 0:
+        raise ThermalModelError(f"r_int must be positive, got {r_int}")
+    return ambient_c + power_w * (r_int + sink.r_ext) + sink.theta(power_w)
+
+
+@dataclass(frozen=True)
+class SimplifiedChipModel:
+    """Equation 1 bound to a specific heat sink, with vectorised helpers.
+
+    The simulation engine evaluates this model on whole arrays of sockets
+    at every power-management tick, so the array entry points avoid any
+    per-socket Python work.
+
+    Attributes:
+        sink: Heat sink the model is parameterised for.
+        r_int: Chip internal resistance, degC/W.
+    """
+
+    sink: HeatSink
+    r_int: float = DEFAULT_R_INT
+
+    def __post_init__(self) -> None:
+        if self.r_int <= 0:
+            raise ThermalModelError(
+                f"r_int must be positive, got {self.r_int}"
+            )
+
+    @property
+    def r_total(self) -> float:
+        """Total die-to-air resistance, degC/W."""
+        return self.r_int + self.sink.r_ext
+
+    def peak_temperature(self, ambient_c: float, power_w: float) -> float:
+        """Scalar peak temperature; see :func:`peak_temperature`."""
+        return peak_temperature(ambient_c, power_w, self.sink, self.r_int)
+
+    def peak_temperature_array(
+        self, ambient_c: np.ndarray, power_w: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised Equation 1 over arrays of ambients and powers."""
+        theta = self.sink.theta_offset + self.sink.theta_slope * power_w
+        return ambient_c + power_w * self.r_total + theta
+
+    def max_power_for_limit(
+        self, ambient_c: float, limit_c: float
+    ) -> float:
+        """Largest power that keeps the peak temperature at or below a limit.
+
+        Inverts Equation 1 analytically.  Returns 0 if even an idle chip
+        would exceed the limit.
+        """
+        denom = self.r_total + self.sink.theta_slope
+        if denom <= 0:
+            raise ThermalModelError(
+                "degenerate model: resistance cancelled by theta slope"
+            )
+        power = (limit_c - ambient_c - self.sink.theta_offset) / denom
+        return max(power, 0.0)
+
+    def ambient_for_limit(self, power_w: float, limit_c: float) -> float:
+        """Largest ambient temperature that keeps the chip under a limit."""
+        if power_w < 0:
+            raise ThermalModelError(
+                f"power must be non-negative, got {power_w}"
+            )
+        return limit_c - power_w * self.r_total - self.sink.theta(power_w)

@@ -1,0 +1,90 @@
+"""Dynamic fan control for the simulated server.
+
+The paper provisions a fixed 400 CFM from the ActiveCool fan data and
+notes that cooling must hold the outlet-inlet temperature budget
+(Table II).  Real chassis modulate fan speed with load; this extension
+models that: a :class:`FanController` scales the delivered airflow so
+the first-law outlet temperature rise tracks a budget, within the fans'
+mechanical range.  Less airflow strengthens thermal coupling (the
+entry-temperature rises scale as 1/CFM) and saves cubic fan power;
+more airflow does the reverse — letting experiments quantify the
+cooling-performance trade-off that motivates density optimized design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ThermalModelError
+from ..units import AIR_HEATING_CONSTANT
+from .airflow import FanModel
+
+
+@dataclass
+class FanController:
+    """Load-proportional airflow control.
+
+    Every control period the controller measures total server heat and
+    delivers just enough airflow to hold the outlet temperature budget,
+    clamped to the fans' range.  The airflow *scale* (relative to the
+    design point) divides every coupling weight and cubes into fan
+    power.
+
+    Attributes:
+        design_total_cfm: Airflow at scale 1.0 (the SUT's 400 CFM).
+        outlet_budget_c: Target outlet-inlet temperature rise, degC.
+        min_scale: Lower bound on relative airflow (fans never stop).
+        max_scale: Upper bound on relative airflow.
+        fan: Fan model used for power accounting (per-server
+            aggregate).
+        interval_s: Control period, seconds.
+    """
+
+    design_total_cfm: float = 400.0
+    outlet_budget_c: float = 20.0
+    min_scale: float = 0.4
+    max_scale: float = 1.25
+    fan: FanModel = None
+    interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.design_total_cfm <= 0:
+            raise ThermalModelError("design airflow must be positive")
+        if self.outlet_budget_c <= 0:
+            raise ThermalModelError("outlet budget must be positive")
+        if not 0 < self.min_scale <= self.max_scale:
+            raise ThermalModelError(
+                "need 0 < min_scale <= max_scale"
+            )
+        if self.interval_s <= 0:
+            raise ThermalModelError("control interval must be positive")
+        if self.fan is None:
+            # Aggregate server fan bank: sized so scale 1.0 sits at 80%
+            # speed of the bank.
+            self.fan = FanModel(
+                name="server-fan-bank",
+                max_cfm=self.design_total_cfm / 0.8,
+                max_power_w=120.0,
+            )
+
+    def airflow_scale(self, total_heat_w: float) -> float:
+        """Relative airflow needed for the current server heat."""
+        if total_heat_w < 0:
+            raise ThermalModelError("heat must be non-negative")
+        required_cfm = (
+            AIR_HEATING_CONSTANT * total_heat_w / self.outlet_budget_c
+        )
+        scale = required_cfm / self.design_total_cfm
+        return float(np.clip(scale, self.min_scale, self.max_scale))
+
+    def fan_power_w(self, scale: float) -> float:
+        """Electrical fan power at a given airflow scale, W."""
+        speed = scale * self.design_total_cfm / self.fan.max_cfm
+        return self.fan.power_at(min(speed, 1.0))
+
+    def outlet_rise_c(self, total_heat_w: float, scale: float) -> float:
+        """Outlet-inlet air temperature rise at a given scale, degC."""
+        cfm = scale * self.design_total_cfm
+        return AIR_HEATING_CONSTANT * total_heat_w / cfm

@@ -1,0 +1,90 @@
+"""Heat sink models for the M700-like cartridge.
+
+The paper's system under test uses two heat sink designs to partially
+compensate for inter-socket thermal coupling: upstream sockets (cool air)
+get an 18-fin sink while downstream sockets (pre-heated air) get a better
+30-fin sink.  Table III of the paper provides the external thermal
+resistance of each sink and an empirically fitted linear correction term
+:math:`\\theta(P)` used by the simplified peak temperature model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ThermalModelError
+
+
+@dataclass(frozen=True)
+class HeatSink:
+    """A finned heat sink characterised for the simplified chip model.
+
+    Attributes:
+        name: Human readable identifier (e.g. ``"18-fin"``).
+        fin_count: Number of fins; more fins means lower external
+            resistance (better heat transfer into the air stream).
+        r_ext: External thermal resistance from heat-sink base to ambient
+            air, in degC/W (Table III).
+        theta_offset: Constant part of the empirical correction
+            :math:`\\theta(P) = \\theta_0 + \\theta_1 P`, in degC.
+        theta_slope: Power-dependent part of :math:`\\theta`, in degC/W.
+    """
+
+    name: str
+    fin_count: int
+    r_ext: float
+    theta_offset: float
+    theta_slope: float
+
+    def __post_init__(self) -> None:
+        if self.fin_count <= 0:
+            raise ThermalModelError(
+                f"fin_count must be positive, got {self.fin_count}"
+            )
+        if self.r_ext <= 0:
+            raise ThermalModelError(f"r_ext must be positive, got {self.r_ext}")
+
+    def theta(self, power_w: float) -> float:
+        """Empirical correction term of Equation 1, in degC.
+
+        The fitted form is linear in power; for the paper's sinks the
+        slope is negative, so the correction shrinks as power grows.
+        """
+        if power_w < 0:
+            raise ThermalModelError(
+                f"power must be non-negative, got {power_w}"
+            )
+        return self.theta_offset + self.theta_slope * power_w
+
+
+#: Upstream heat sink of the M700 cartridge (Table III).
+FIN_18 = HeatSink(
+    name="18-fin",
+    fin_count=18,
+    r_ext=1.578,
+    theta_offset=4.41,
+    theta_slope=-0.0896,
+)
+
+#: Downstream (better) heat sink of the M700 cartridge (Table III).
+FIN_30 = HeatSink(
+    name="30-fin",
+    fin_count=30,
+    r_ext=1.056,
+    theta_offset=4.45,
+    theta_slope=-0.0916,
+)
+
+
+def sink_for_zone(zone: int) -> HeatSink:
+    """Heat sink installed in a given SUT zone (1-based, Figure 12).
+
+    Odd zones sit at the front of each cartridge and use the 18-fin sink;
+    even zones sit downstream and use the 30-fin sink.
+
+    Raises:
+        ThermalModelError: if ``zone`` is not a positive integer.
+    """
+    if zone < 1:
+        raise ThermalModelError(f"zone must be >= 1, got {zone}")
+    return FIN_18 if zone % 2 == 1 else FIN_30

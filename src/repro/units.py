@@ -1,0 +1,119 @@
+"""Unit conversions and physical constants used throughout the library.
+
+The central relation is the standardized total cooling requirement from
+the first law of thermodynamics for air (the "Sunon formula" the paper
+cites): the airflow needed to remove ``P`` watts with an air temperature
+rise of ``dT`` degrees Celsius is::
+
+    CFM = AIR_HEATING_CONSTANT * P / dT
+
+with ``AIR_HEATING_CONSTANT ~= 1.76 CFM*degC/W`` at sea level.  The paper's
+Table II is reproduced exactly by this constant (208 W -> 18.30 CFM at
+dT = 20 C, 588 W -> 51.74 CFM, ...).
+"""
+
+from __future__ import annotations
+
+from .errors import ThermalModelError
+
+#: First-law air-heating constant, in CFM * degC / W.  Derived from air
+#: density ~1.19 kg/m^3 and specific heat ~1006 J/(kg K) at sea level:
+#: 1 / (rho * cp) in (m^3/s * K / W) converted to CFM.
+AIR_HEATING_CONSTANT = 1.76
+
+#: Cubic feet per minute -> cubic metres per second.
+CFM_TO_M3S = 0.000471947
+
+#: Air density at sea level, kg/m^3.
+AIR_DENSITY = 1.19
+
+#: Specific heat capacity of air, J/(kg K).
+AIR_SPECIFIC_HEAT = 1006.0
+
+#: One rack unit, in metres.
+RACK_UNIT_M = 0.04445
+
+#: One inch, in metres.
+INCH_M = 0.0254
+
+
+def cfm_to_m3s(cfm: float) -> float:
+    """Convert a volumetric flow from CFM to cubic metres per second."""
+    return cfm * CFM_TO_M3S
+
+
+def m3s_to_cfm(m3s: float) -> float:
+    """Convert a volumetric flow from cubic metres per second to CFM."""
+    return m3s / CFM_TO_M3S
+
+
+def airflow_for_power(power_w: float, delta_t_c: float) -> float:
+    """Airflow (CFM) required to remove ``power_w`` with a ``delta_t_c`` rise.
+
+    This is the standardized total cooling requirements formulation the
+    paper uses to build Table II.
+
+    Raises:
+        ThermalModelError: if ``power_w`` is negative or ``delta_t_c`` is
+            not strictly positive.
+    """
+    if power_w < 0:
+        raise ThermalModelError(f"power must be non-negative, got {power_w}")
+    if delta_t_c <= 0:
+        raise ThermalModelError(
+            f"temperature rise must be positive, got {delta_t_c}"
+        )
+    return AIR_HEATING_CONSTANT * power_w / delta_t_c
+
+
+def air_temperature_rise(power_w: float, cfm: float) -> float:
+    """Temperature rise (degC) of ``cfm`` of air absorbing ``power_w`` watts.
+
+    Inverse of :func:`airflow_for_power`.
+
+    Raises:
+        ThermalModelError: if ``power_w`` is negative or ``cfm`` is not
+            strictly positive.
+    """
+    if power_w < 0:
+        raise ThermalModelError(f"power must be non-negative, got {power_w}")
+    if cfm <= 0:
+        raise ThermalModelError(f"airflow must be positive, got {cfm}")
+    return AIR_HEATING_CONSTANT * power_w / cfm
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature from Celsius to Kelvin."""
+    return celsius + 273.15
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert a temperature from Kelvin to Celsius."""
+    return kelvin - 273.15
+
+
+def mhz_to_ghz(mhz: float) -> float:
+    """Convert a frequency from MHz to GHz."""
+    return mhz / 1000.0
+
+
+def watts_per_u(total_power_w: float, height_u: float) -> float:
+    """Power density in watts per rack unit.
+
+    Raises:
+        ThermalModelError: if ``height_u`` is not strictly positive.
+    """
+    if height_u <= 0:
+        raise ThermalModelError(f"height must be positive, got {height_u}")
+    return total_power_w / height_u
+
+
+def sockets_per_u(total_sockets: int, height_u: float) -> float:
+    """Socket density in sockets per rack unit.
+
+    Raises:
+        ThermalModelError: if ``height_u`` is not strictly positive.
+    """
+    if height_u <= 0:
+        raise ThermalModelError(f"height must be positive, got {height_u}")
+    return total_sockets / height_u

@@ -1,0 +1,123 @@
+"""Terminal-friendly visualisation helpers (pure text, no plotting deps).
+
+The experiment harness runs in environments without matplotlib, so
+these helpers render the paper's series as unicode sparklines, bar
+charts and multi-series line charts — enough to eyeball every figure's
+shape straight from a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .errors import ReproError
+
+#: Eight-level block characters for sparklines.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of a series.
+
+    Raises:
+        ReproError: for empty input or non-finite values.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise ReproError("cannot sparkline an empty series")
+    if any(not math.isfinite(v) for v in data):
+        raise ReproError("sparkline values must be finite")
+    low, high = min(data), max(data)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(data)
+    span = high - low
+    out = []
+    for value in data:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart, one row per label.
+
+    Raises:
+        ReproError: for mismatched inputs, empty data or negative
+            values.
+    """
+    if len(labels) != len(values):
+        raise ReproError("labels and values must have equal length")
+    if not labels:
+        raise ReproError("cannot chart an empty series")
+    data = [float(v) for v in values]
+    if any(v < 0 for v in data):
+        raise ReproError("bar chart values must be non-negative")
+    peak = max(data) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, data):
+        bar = "█" * max(int(value / peak * width), 0)
+        lines.append(
+            f"{str(label).ljust(label_width)}  {bar} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    height: int = 10,
+    width: Optional[int] = None,
+    y_label: str = "",
+) -> str:
+    """A multi-series character line chart.
+
+    Each series is resampled to the chart width and drawn with its own
+    marker (first letter of its name).  Overlapping points show the
+    later series' marker.
+
+    Raises:
+        ReproError: for empty input or series of unequal meaning
+            (no values).
+    """
+    if not series:
+        raise ReproError("cannot chart zero series")
+    for name, values in series.items():
+        if len(values) == 0:
+            raise ReproError(f"series {name!r} is empty")
+    if width is None:
+        width = min(max(len(v) for v in series.values()), 72)
+    all_values = [
+        float(v) for values in series.values() for v in values
+    ]
+    low, high = min(all_values), max(all_values)
+    if high == low:
+        high = low + 1.0
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    for name, values in series.items():
+        marker = name[0]
+        n = len(values)
+        for col in range(width):
+            source = min(int(col * n / width), n - 1)
+            value = float(values[source])
+            row = int(
+                (value - low) / (high - low) * (height - 1)
+            )
+            grid[height - 1 - row][col] = marker
+    lines = []
+    lines.append(f"{high:10.2f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{low:10.2f} ┤" + "".join(grid[-1]))
+    legend = "  ".join(f"{name[0]}={name}" for name in series)
+    if y_label:
+        legend = f"{y_label} | {legend}"
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

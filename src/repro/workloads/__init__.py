@@ -1,0 +1,48 @@
+"""Workload substrate: synthetic PCMark-7-like VDI applications.
+
+The paper drives its simulations with traces of 19 PCMark 7 desktop
+applications captured with Windows Xperf, grouped into three sets:
+Computation intensive, Storage intensive, and General Purpose (GP).  We
+cannot redistribute those traces, so this package synthesises workloads
+with the same published statistics:
+
+- average job durations of a few milliseconds, with maxima roughly two
+  orders of magnitude higher (Figure 6a);
+- intra-set coefficient of variation of benchmark mean durations between
+  0.25 and 0.33 (Figure 6b);
+- set-level power at the top frequency and 90 degC of 18 W
+  (Computation), 14 W (GP) and 10.5 W (Storage), with Computation the
+  most frequency sensitive (-35% performance at -800 MHz) and Storage
+  the least (Figure 7).
+"""
+
+from .benchmark import BenchmarkSet, SET_PROFILES, SetProfile
+from .pcmark import PCMARK_APPS, Application, apps_in_set
+from .power_model import PowerModel, leakage_power
+from .perf_model import PerfModel, relative_performance
+from .job import Job
+from .arrivals import ArrivalProcess, load_to_arrival_rate
+from .traces import XperfTrace, capture_trace, arrival_model_from_trace
+from .load_profile import LoadPhase, VaryingLoadProcess, ramp_profile
+
+__all__ = [
+    "BenchmarkSet",
+    "SET_PROFILES",
+    "SetProfile",
+    "PCMARK_APPS",
+    "Application",
+    "apps_in_set",
+    "PowerModel",
+    "leakage_power",
+    "PerfModel",
+    "relative_performance",
+    "Job",
+    "ArrivalProcess",
+    "load_to_arrival_rate",
+    "XperfTrace",
+    "capture_trace",
+    "arrival_model_from_trace",
+    "LoadPhase",
+    "VaryingLoadProcess",
+    "ramp_profile",
+]

@@ -1,0 +1,92 @@
+"""Benchmark sets and their aggregate power / sensitivity profiles."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import WorkloadError
+
+
+class BenchmarkSet(enum.Enum):
+    """The three PCMark-derived benchmark sets the paper studies."""
+
+    COMPUTATION = "Computation"
+    STORAGE = "Storage"
+    GENERAL_PURPOSE = "GP"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SetProfile:
+    """Aggregate properties of a benchmark set (Figures 6 and 7).
+
+    Attributes:
+        benchmark_set: Which set this profile describes.
+        power_at_max_w: Total socket power at 1900 MHz and 90 degC, W.
+        perf_drop_at_min: Fractional performance loss when running at
+            1100 MHz instead of 1900 MHz (0.35 means -35%).
+        dynamic_exponent: Exponent alpha of the dynamic power law
+            ``P_dyn(f) = P_dyn(f_max) * (f / f_max) ** alpha``.
+        mean_duration_ms: Average job duration across the set's
+            benchmarks, ms.
+    """
+
+    benchmark_set: BenchmarkSet
+    power_at_max_w: float
+    perf_drop_at_min: float
+    dynamic_exponent: float
+    mean_duration_ms: float
+
+    def __post_init__(self) -> None:
+        if self.power_at_max_w <= 0:
+            raise WorkloadError("power_at_max_w must be positive")
+        if not 0.0 <= self.perf_drop_at_min < 1.0:
+            raise WorkloadError("perf_drop_at_min must lie in [0, 1)")
+        if self.dynamic_exponent <= 0:
+            raise WorkloadError("dynamic_exponent must be positive")
+        if self.mean_duration_ms <= 0:
+            raise WorkloadError("mean_duration_ms must be positive")
+
+
+#: Set-level profiles anchored to Figure 6 / Figure 7 of the paper.
+SET_PROFILES: Dict[BenchmarkSet, SetProfile] = {
+    BenchmarkSet.COMPUTATION: SetProfile(
+        benchmark_set=BenchmarkSet.COMPUTATION,
+        power_at_max_w=18.0,
+        perf_drop_at_min=0.35,
+        dynamic_exponent=1.7,
+        mean_duration_ms=4.0,
+    ),
+    BenchmarkSet.GENERAL_PURPOSE: SetProfile(
+        benchmark_set=BenchmarkSet.GENERAL_PURPOSE,
+        power_at_max_w=14.0,
+        perf_drop_at_min=0.25,
+        dynamic_exponent=1.55,
+        mean_duration_ms=6.0,
+    ),
+    BenchmarkSet.STORAGE: SetProfile(
+        benchmark_set=BenchmarkSet.STORAGE,
+        power_at_max_w=10.5,
+        perf_drop_at_min=0.10,
+        dynamic_exponent=1.35,
+        mean_duration_ms=8.0,
+    ),
+}
+
+
+def profile_for(benchmark_set: BenchmarkSet) -> SetProfile:
+    """Profile of a benchmark set.
+
+    Raises:
+        WorkloadError: if the set has no registered profile.
+    """
+    try:
+        return SET_PROFILES[benchmark_set]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"no profile registered for {benchmark_set!r}"
+        ) from exc

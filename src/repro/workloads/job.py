@@ -1,0 +1,80 @@
+"""Job representation used by the scheduler and simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import WorkloadError
+from .pcmark import Application
+
+
+@dataclass
+class Job:
+    """One unit of schedulable work.
+
+    A job carries ``work_ms`` units of work — its runtime in milliseconds
+    if executed entirely at the top frequency.  Running at a lower
+    frequency retires work more slowly (see
+    :meth:`repro.workloads.perf_model.PerfModel.execution_rate`), so the
+    observed runtime expands.
+
+    Attributes:
+        job_id: Unique identifier within one simulation.
+        app: The application this job belongs to.
+        arrival_s: Arrival time, seconds since simulation start.
+        work_ms: Nominal duration at the top frequency, ms.
+        socket_id: Socket the job ran on (set by the engine).
+        start_s: Time the job started executing (set by the engine).
+        finish_s: Time the job completed (set by the engine).
+    """
+
+    job_id: int
+    app: Application
+    arrival_s: float
+    work_ms: float
+    socket_id: Optional[int] = None
+    start_s: Optional[float] = None
+    finish_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise WorkloadError("arrival time must be non-negative")
+        if self.work_ms <= 0:
+            raise WorkloadError("job work must be positive")
+
+    @property
+    def completed(self) -> bool:
+        """Whether the engine recorded a completion for this job."""
+        return self.finish_s is not None
+
+    @property
+    def nominal_duration_s(self) -> float:
+        """Runtime at the top frequency, seconds."""
+        return self.work_ms / 1000.0
+
+    @property
+    def response_time_s(self) -> float:
+        """Arrival-to-completion time, seconds.
+
+        Raises:
+            WorkloadError: if the job has not completed.
+        """
+        if self.finish_s is None:
+            raise WorkloadError(f"job {self.job_id} has not completed")
+        return self.finish_s - self.arrival_s
+
+    @property
+    def runtime_expansion(self) -> float:
+        """Service time divided by the nominal duration (>= 1 in practice).
+
+        The paper's primary metric: how much longer the job took than it
+        would have at the top frequency, counted from when it started
+        executing.
+
+        Raises:
+            WorkloadError: if the job has not started and completed.
+        """
+        if self.start_s is None or self.finish_s is None:
+            raise WorkloadError(f"job {self.job_id} has not completed")
+        return (self.finish_s - self.start_s) / self.nominal_duration_s

@@ -1,0 +1,130 @@
+"""Time-varying load profiles.
+
+The paper motivates CP's load-agnostic behaviour with the observation
+that "system load can change constantly based on user demand".  This
+module generates job streams whose offered load follows a piecewise-
+constant profile (e.g. a morning ramp from 20% to 80%), so experiments
+can measure scheduler robustness under load *transients* rather than
+only at stationary operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .arrivals import ArrivalProcess
+from .benchmark import BenchmarkSet
+from .job import Job
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """One constant-load segment of a profile.
+
+    Attributes:
+        duration_s: Segment length, seconds.
+        load: Offered load in (0, 1] during the segment.
+    """
+
+    duration_s: float
+    load: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise WorkloadError("phase duration must be positive")
+        if not 0.0 < self.load <= 1.0:
+            raise WorkloadError(f"load must lie in (0, 1], got {self.load}")
+
+
+@dataclass
+class VaryingLoadProcess:
+    """Piecewise-constant-load Poisson arrival stream.
+
+    Each phase generates arrivals with its own rate; job ids are
+    renumbered globally and arrival times offset by the phase start.
+
+    Attributes:
+        benchmark_set: Set to draw applications from.
+        phases: The load profile.
+        n_sockets: Socket count the loads are normalised to.
+        seed: Base seed; each phase derives its own sub-seed.
+        duration_scale: Job duration multiplier (load preserving).
+    """
+
+    benchmark_set: BenchmarkSet
+    phases: Sequence[LoadPhase]
+    n_sockets: int
+    seed: int = 0
+    duration_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise WorkloadError("a load profile needs >= 1 phase")
+        if self.n_sockets <= 0:
+            raise WorkloadError("n_sockets must be positive")
+
+    @property
+    def total_duration_s(self) -> float:
+        """Length of the whole profile, seconds."""
+        return sum(phase.duration_s for phase in self.phases)
+
+    def phase_boundaries_s(self) -> List[Tuple[float, float, float]]:
+        """(start, end, load) triples for each phase."""
+        boundaries = []
+        start = 0.0
+        for phase in self.phases:
+            boundaries.append((start, start + phase.duration_s, phase.load))
+            start += phase.duration_s
+        return boundaries
+
+    def generate(self) -> List[Job]:
+        """Generate the full job stream across all phases."""
+        jobs: List[Job] = []
+        job_id = 0
+        for index, (start, end, load) in enumerate(
+            self.phase_boundaries_s()
+        ):
+            process = ArrivalProcess(
+                benchmark_set=self.benchmark_set,
+                load=load,
+                n_sockets=self.n_sockets,
+                seed=self.seed * 1009 + index,
+                duration_scale=self.duration_scale,
+            )
+            for job in process.generate(end - start):
+                jobs.append(
+                    Job(
+                        job_id=job_id,
+                        app=job.app,
+                        arrival_s=start + job.arrival_s,
+                        work_ms=job.work_ms,
+                    )
+                )
+                job_id += 1
+        return jobs
+
+
+def ramp_profile(
+    low: float,
+    high: float,
+    steps: int,
+    total_duration_s: float,
+) -> List[LoadPhase]:
+    """A staircase ramp from ``low`` to ``high`` load.
+
+    Raises:
+        WorkloadError: for invalid bounds or step counts.
+    """
+    if steps < 2:
+        raise WorkloadError("a ramp needs >= 2 steps")
+    if not 0.0 < low <= 1.0 or not 0.0 < high <= 1.0:
+        raise WorkloadError("loads must lie in (0, 1]")
+    if total_duration_s <= 0:
+        raise WorkloadError("duration must be positive")
+    loads = np.linspace(low, high, steps)
+    duration = total_duration_s / steps
+    return [LoadPhase(duration_s=duration, load=float(l)) for l in loads]

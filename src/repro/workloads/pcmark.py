@@ -1,0 +1,201 @@
+"""Synthetic PCMark-7-like application suite.
+
+The paper uses 19 PCMark 7 applications (gaming excluded) divided into
+Computation, Storage and General Purpose sets.  We synthesise 19
+stand-ins whose published statistics match Figure 6: per-set mean job
+durations of a few milliseconds, intra-set CoV of benchmark means in the
+0.25-0.33 band, and job-duration maxima roughly two orders of magnitude
+above the mean (heavy lognormal tails).
+
+Each application also carries a die power map used by the detailed
+thermal model for the Figure 9 study: computation-heavy apps concentrate
+power on a couple of CPU cores (hotter hot spots), storage apps spread
+power across uncore and IO.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .benchmark import BenchmarkSet
+
+#: Lognormal shape parameter for job durations; gives max/mean ratios of
+#: roughly two orders of magnitude over ~1e5 samples (Figure 6a).
+DEFAULT_DURATION_SIGMA = 1.2
+
+#: How the non-core power is split for each set:
+#: (l2, gpu, uncore, io) fractions of the non-core residual.
+_UNCORE_SPLIT: Dict[BenchmarkSet, Tuple[float, float, float, float]] = {
+    BenchmarkSet.COMPUTATION: (0.30, 0.20, 0.30, 0.20),
+    BenchmarkSet.GENERAL_PURPOSE: (0.20, 0.30, 0.28, 0.22),
+    BenchmarkSet.STORAGE: (0.10, 0.07, 0.43, 0.40),
+}
+
+
+@dataclass(frozen=True)
+class Application:
+    """One synthetic desktop application.
+
+    Attributes:
+        name: Application identifier.
+        benchmark_set: Which set the application belongs to.
+        mean_duration_ms: Mean job duration at the top frequency, ms.
+        power_at_max_w: Socket power at 1900 MHz and 90 degC, W.
+        core_power_fraction: Fraction of total power dissipated in the
+            CPU cores.
+        active_cores: How many of the four cores carry that power
+            (fewer active cores concentrate heat).
+        duration_sigma: Lognormal sigma of the job duration
+            distribution.
+    """
+
+    name: str
+    benchmark_set: BenchmarkSet
+    mean_duration_ms: float
+    power_at_max_w: float
+    core_power_fraction: float
+    active_cores: int
+    duration_sigma: float = DEFAULT_DURATION_SIGMA
+
+    def __post_init__(self) -> None:
+        if self.mean_duration_ms <= 0:
+            raise WorkloadError(
+                f"{self.name}: mean duration must be positive"
+            )
+        if self.power_at_max_w <= 0:
+            raise WorkloadError(f"{self.name}: power must be positive")
+        if not 0.0 < self.core_power_fraction < 1.0:
+            raise WorkloadError(
+                f"{self.name}: core power fraction must lie in (0, 1)"
+            )
+        if not 1 <= self.active_cores <= 4:
+            raise WorkloadError(
+                f"{self.name}: active cores must lie in 1..4"
+            )
+        if self.duration_sigma <= 0:
+            raise WorkloadError(f"{self.name}: sigma must be positive")
+
+    def sample_durations_ms(
+        self, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``n`` job durations (ms) from the app's distribution.
+
+        Lognormal with the app's sigma, scaled so the distribution mean
+        equals ``mean_duration_ms``.
+        """
+        if n < 0:
+            raise WorkloadError(f"n must be non-negative, got {n}")
+        mu = math.log(self.mean_duration_ms) - self.duration_sigma**2 / 2
+        return rng.lognormal(mean=mu, sigma=self.duration_sigma, size=n)
+
+    def block_power_map(self, total_power_w: float) -> Dict[str, float]:
+        """Distribute ``total_power_w`` over the Kabini floorplan blocks.
+
+        Core power is concentrated in the first ``active_cores`` cores;
+        the remainder goes to l2/gpu/uncore/io per the set template.
+        """
+        if total_power_w < 0:
+            raise WorkloadError("total power must be non-negative")
+        core_power = total_power_w * self.core_power_fraction
+        per_core = core_power / self.active_cores
+        powers = {f"core{i}": 0.0 for i in range(4)}
+        for i in range(self.active_cores):
+            powers[f"core{i}"] = per_core
+        residual = total_power_w - core_power
+        l2, gpu, uncore, io = _UNCORE_SPLIT[self.benchmark_set]
+        powers["l2"] = residual * l2
+        powers["gpu"] = residual * gpu
+        powers["uncore"] = residual * uncore
+        powers["io"] = residual * io
+        return powers
+
+
+def _make_apps() -> Tuple[Application, ...]:
+    computation = [
+        ("video-transcode", 2.6, 16.5),
+        ("physics-sim", 3.2, 17.2),
+        ("image-render", 3.6, 17.8),
+        ("data-compress", 4.0, 18.3),
+        ("encryption", 4.8, 18.8),
+        ("spreadsheet-calc", 5.8, 19.4),
+    ]
+    storage = [
+        ("app-loading", 5.2, 9.3),
+        ("file-copy", 6.4, 9.9),
+        ("db-import", 7.2, 10.3),
+        ("virus-scan", 8.0, 10.7),
+        ("media-import", 9.6, 11.2),
+        ("system-backup", 11.6, 11.6),
+    ]
+    general = [
+        ("web-browsing", 3.6, 12.6),
+        ("email-sync", 4.5, 13.2),
+        ("word-processing", 5.4, 13.7),
+        ("presentation", 6.0, 14.1),
+        ("pdf-render", 6.6, 14.5),
+        ("photo-edit", 7.8, 15.0),
+        ("video-playback", 8.1, 14.9),
+    ]
+    apps: List[Application] = []
+    for name, duration, power in computation:
+        apps.append(
+            Application(
+                name=name,
+                benchmark_set=BenchmarkSet.COMPUTATION,
+                mean_duration_ms=duration,
+                power_at_max_w=power,
+                core_power_fraction=0.62,
+                active_cores=3,
+            )
+        )
+    for name, duration, power in storage:
+        apps.append(
+            Application(
+                name=name,
+                benchmark_set=BenchmarkSet.STORAGE,
+                mean_duration_ms=duration,
+                power_at_max_w=power,
+                core_power_fraction=0.28,
+                active_cores=1,
+            )
+        )
+    for name, duration, power in general:
+        apps.append(
+            Application(
+                name=name,
+                benchmark_set=BenchmarkSet.GENERAL_PURPOSE,
+                mean_duration_ms=duration,
+                power_at_max_w=power,
+                core_power_fraction=0.46,
+                active_cores=2,
+            )
+        )
+    return tuple(apps)
+
+
+#: The full synthetic 19-application suite.
+PCMARK_APPS: Tuple[Application, ...] = _make_apps()
+
+
+def apps_in_set(benchmark_set: BenchmarkSet) -> Tuple[Application, ...]:
+    """All applications belonging to a benchmark set."""
+    return tuple(
+        app for app in PCMARK_APPS if app.benchmark_set == benchmark_set
+    )
+
+
+def app_by_name(name: str) -> Application:
+    """Look up an application by name.
+
+    Raises:
+        WorkloadError: if the name is unknown.
+    """
+    for app in PCMARK_APPS:
+        if app.name == name:
+            return app
+    raise WorkloadError(f"unknown application {name!r}")

@@ -1,0 +1,103 @@
+"""Performance versus frequency model (paper Figure 7b).
+
+Performance is reported relative to execution at the top frequency
+(1900 MHz).  The paper measured a roughly linear relationship, with the
+Computation set losing ~35% performance over an 800 MHz reduction,
+Storage nearly insensitive, and GP in between.  We model::
+
+    perf(f) = 1 - drop * (f_max - f) / (f_max - f_min)
+
+so ``perf(f_max) = 1`` and ``perf(f_min) = 1 - drop``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..server.processors import FrequencyLadder, X2150_LADDER
+from .benchmark import BenchmarkSet, profile_for
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def relative_performance(
+    freq_mhz: ArrayLike,
+    perf_drop_at_min: float,
+    ladder: FrequencyLadder = X2150_LADDER,
+) -> ArrayLike:
+    """Performance at ``freq_mhz`` relative to the ladder's top state."""
+    if not 0.0 <= perf_drop_at_min < 1.0:
+        raise WorkloadError(
+            f"perf drop must lie in [0, 1), got {perf_drop_at_min}"
+        )
+    span = ladder.max_mhz - ladder.min_mhz
+    if span <= 0:
+        return 1.0 if np.isscalar(freq_mhz) else np.ones_like(
+            np.asarray(freq_mhz, dtype=float)
+        )
+    freq = np.asarray(freq_mhz, dtype=float)
+    result = 1.0 - perf_drop_at_min * (ladder.max_mhz - freq) / span
+    if np.isscalar(freq_mhz):
+        return float(result)
+    return result
+
+
+@dataclass(frozen=True)
+class PerfModel:
+    """Performance model for one benchmark set.
+
+    Attributes:
+        perf_drop_at_min: Fractional slowdown at the bottom of the
+            ladder.
+        ladder: DVFS ladder the model is defined over.
+    """
+
+    perf_drop_at_min: float
+    ladder: FrequencyLadder = X2150_LADDER
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.perf_drop_at_min < 1.0:
+            raise WorkloadError(
+                f"perf drop must lie in [0, 1), got {self.perf_drop_at_min}"
+            )
+
+    @classmethod
+    def for_set(
+        cls,
+        benchmark_set: BenchmarkSet,
+        ladder: FrequencyLadder = X2150_LADDER,
+    ) -> "PerfModel":
+        """Performance model from a set-level profile (Figure 7b)."""
+        return cls(
+            perf_drop_at_min=profile_for(benchmark_set).perf_drop_at_min,
+            ladder=ladder,
+        )
+
+    def relative_performance(self, freq_mhz: ArrayLike) -> ArrayLike:
+        """Performance relative to the top frequency; see module doc."""
+        return relative_performance(
+            freq_mhz, self.perf_drop_at_min, self.ladder
+        )
+
+    def execution_rate(self, freq_mhz: ArrayLike) -> ArrayLike:
+        """Work units retired per second of wall time.
+
+        A job with nominal duration ``d`` (its runtime at the top
+        frequency) holds ``d`` units of work; at a lower frequency the
+        socket retires work at ``relative_performance(f)`` units per
+        unit time.
+        """
+        return self.relative_performance(freq_mhz)
+
+    def runtime_expansion(self, freq_mhz: float) -> float:
+        """Slowdown factor when running entirely at ``freq_mhz``."""
+        perf = self.relative_performance(freq_mhz)
+        if perf <= 0:
+            raise WorkloadError(
+                f"non-positive performance at {freq_mhz} MHz"
+            )
+        return 1.0 / float(perf)

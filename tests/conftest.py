@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import smoke
+from repro.server.topology import ServerTopology, moonshot_sut
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for sampling tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_sut() -> ServerTopology:
+    """A 2-row (24-socket) Moonshot-like SUT — cheap but full structure."""
+    return moonshot_sut(n_rows=2)
+
+
+@pytest.fixture
+def smoke_params():
+    """Minimal simulation parameters for engine tests."""
+    return smoke()

@@ -1,0 +1,126 @@
+"""Tests for repro.analysis.survey (Figure 1)."""
+
+import pytest
+
+from repro.analysis.survey import (
+    ServerClass,
+    ServerRecord,
+    class_statistics,
+    generate_population,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPopulation:
+    def test_410_designs(self):
+        assert len(generate_population()) == 410
+
+    def test_400_rack_and_blade_designs(self):
+        population = generate_population()
+        classic = [
+            r
+            for r in population
+            if r.server_class != ServerClass.DENSITY_OPT
+        ]
+        assert len(classic) == 400
+
+    def test_ten_density_optimized_designs(self):
+        population = generate_population()
+        dense = [
+            r
+            for r in population
+            if r.server_class == ServerClass.DENSITY_OPT
+        ]
+        assert len(dense) == 10
+
+    def test_years_within_survey_range(self):
+        for record in generate_population():
+            assert 2007 <= record.year <= 2016
+
+    def test_deterministic_given_seed(self):
+        a = generate_population(seed=1)
+        b = generate_population(seed=1)
+        assert [r.power_per_u_w for r in a] == [
+            r.power_per_u_w for r in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_population(seed=1)
+        b = generate_population(seed=2)
+        assert [r.power_per_u_w for r in a] != [
+            r.power_per_u_w for r in b
+        ]
+
+    def test_positive_densities(self):
+        for record in generate_population():
+            assert record.power_per_u_w > 0
+            assert record.sockets_per_u > 0
+
+
+class TestClassStatistics:
+    EXPECTED_POWER = {
+        ServerClass.U1: 208.0,
+        ServerClass.U2: 147.0,
+        ServerClass.OTHER: 114.0,
+        ServerClass.BLADE: 421.0,
+        ServerClass.DENSITY_OPT: 588.0,
+    }
+    EXPECTED_SOCKETS = {
+        ServerClass.U1: 1.79,
+        ServerClass.U2: 1.15,
+        ServerClass.OTHER: 0.78,
+        ServerClass.BLADE: 3.47,
+        ServerClass.DENSITY_OPT: 25.0,
+    }
+
+    def test_power_density_means_match_paper(self):
+        stats = class_statistics(generate_population())
+        for server_class, expected in self.EXPECTED_POWER.items():
+            assert stats[
+                server_class
+            ].mean_power_per_u_w == pytest.approx(expected, rel=1e-6)
+
+    def test_socket_density_means_match_paper(self):
+        stats = class_statistics(generate_population())
+        for server_class, expected in self.EXPECTED_SOCKETS.items():
+            assert stats[
+                server_class
+            ].mean_sockets_per_u == pytest.approx(expected, rel=1e-6)
+
+    def test_density_optimized_is_the_extreme(self):
+        """~50% more power and ~6x sockets over blades (Section I)."""
+        stats = class_statistics(generate_population())
+        blade = stats[ServerClass.BLADE]
+        dense = stats[ServerClass.DENSITY_OPT]
+        power_step = dense.mean_power_per_u_w / blade.mean_power_per_u_w
+        socket_step = dense.mean_sockets_per_u / blade.mean_sockets_per_u
+        assert power_step == pytest.approx(1.40, abs=0.05)
+        assert socket_step == pytest.approx(7.2, abs=1.0)
+
+    def test_ordering_of_classes(self):
+        stats = class_statistics(generate_population())
+        power = [
+            stats[c].mean_power_per_u_w
+            for c in (
+                ServerClass.OTHER,
+                ServerClass.U2,
+                ServerClass.U1,
+                ServerClass.BLADE,
+                ServerClass.DENSITY_OPT,
+            )
+        ]
+        assert power == sorted(power)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            class_statistics([])
+
+    def test_invalid_record_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerRecord(
+                name="bad",
+                server_class=ServerClass.U1,
+                year=2010,
+                power_per_u_w=-5.0,
+                sockets_per_u=1.0,
+            )

@@ -1,0 +1,74 @@
+"""Tests for the experiment registry and the CLI."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.errors import ConfigurationError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    all_experiments,
+    get_experiment,
+)
+
+
+class TestRegistry:
+    def test_fifteen_artifacts(self):
+        assert len(EXPERIMENTS) == 15
+
+    def test_every_experiment_has_run_and_main(self):
+        for experiment in all_experiments():
+            assert callable(experiment.run)
+            assert callable(experiment.main)
+
+    def test_light_filter(self):
+        light = all_experiments(include_heavy=False)
+        assert all(not e.heavy for e in light)
+        assert {"table1", "table2", "table3", "fig01"} <= {
+            e.name for e in light
+        }
+
+    def test_heavy_experiments_are_the_simulations(self):
+        heavy = {e.name for e in all_experiments() if e.heavy}
+        assert heavy == {"fig03", "fig11", "fig13", "fig14", "fig15"}
+
+    def test_get_experiment(self):
+        assert get_experiment("fig14").heavy
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out
+        assert "table2" in out
+
+    def test_schedulers(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "CP" in out.splitlines()
+
+    def test_run_single_artifact(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "51.74" in out
+
+    def test_run_light(self, capsys):
+        assert main(["run", "--light"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Figure 10" in out
+
+    def test_run_without_names_errors(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_run_unknown_artifact_raises(self):
+        with pytest.raises(ConfigurationError):
+            main(["run", "fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

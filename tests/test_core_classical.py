@@ -1,0 +1,113 @@
+"""Tests for the classical baseline schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.core.classical import FirstFit, LeastRecentlyUsed, RoundRobin
+from repro.sim.state import SimulationState
+from repro.workloads.job import Job
+from repro.workloads.pcmark import PCMARK_APPS
+
+
+@pytest.fixture
+def state(small_sut, smoke_params):
+    return SimulationState(small_sut, smoke_params)
+
+
+def make_job(job_id=0):
+    return Job(
+        job_id=job_id, app=PCMARK_APPS[0], arrival_s=0.0, work_ms=5.0
+    )
+
+
+def reset(policy, state):
+    policy.reset(state, np.random.default_rng(0))
+    return policy
+
+
+class TestFirstFit:
+    def test_lowest_id(self, state):
+        policy = reset(FirstFit(), state)
+        idle = np.array([7, 3, 12])
+        assert policy.select_socket(make_job(), idle, state) == 3
+
+    def test_skips_busy(self, state):
+        policy = reset(FirstFit(), state)
+        state.assign(make_job(0), 0)
+        idle = state.idle_socket_ids()
+        assert policy.select_socket(make_job(1), idle, state) == 1
+
+
+class TestRoundRobin:
+    def test_rotates(self, state):
+        policy = reset(RoundRobin(), state)
+        idle = state.idle_socket_ids()
+        first = policy.select_socket(make_job(0), idle, state)
+        second = policy.select_socket(make_job(1), idle, state)
+        third = policy.select_socket(make_job(2), idle, state)
+        assert (first, second, third) == (0, 1, 2)
+
+    def test_wraps_around(self, state):
+        policy = reset(RoundRobin(), state)
+        policy._next = state.n_sockets - 1
+        idle = state.idle_socket_ids()
+        last = policy.select_socket(make_job(0), idle, state)
+        assert last == state.n_sockets - 1
+        wrapped = policy.select_socket(make_job(1), idle, state)
+        assert wrapped == 0
+
+    def test_skips_busy_sockets(self, state):
+        policy = reset(RoundRobin(), state)
+        state.assign(make_job(0), 0)
+        state.assign(make_job(1), 1)
+        idle = state.idle_socket_ids()
+        assert policy.select_socket(make_job(2), idle, state) == 2
+
+    def test_reset_restarts_rotation(self, state):
+        policy = reset(RoundRobin(), state)
+        policy.select_socket(make_job(0), state.idle_socket_ids(), state)
+        reset(policy, state)
+        assert (
+            policy.select_socket(
+                make_job(1), state.idle_socket_ids(), state
+            )
+            == 0
+        )
+
+
+class TestLeastRecentlyUsed:
+    def test_prefers_never_used(self, state):
+        policy = reset(LeastRecentlyUsed(), state)
+        state.time_s = 1.0
+        first = policy.select_socket(
+            make_job(0), state.idle_socket_ids(), state
+        )
+        state.time_s = 2.0
+        second = policy.select_socket(
+            make_job(1), state.idle_socket_ids(), state
+        )
+        assert first != second
+
+    def test_cycles_through_all_before_reuse(self, state):
+        policy = reset(LeastRecentlyUsed(), state)
+        seen = set()
+        for i in range(state.n_sockets):
+            state.time_s = float(i)
+            seen.add(
+                policy.select_socket(
+                    make_job(i), state.idle_socket_ids(), state
+                )
+            )
+        assert len(seen) == state.n_sockets
+
+    def test_oldest_first_on_reuse(self, state):
+        policy = reset(LeastRecentlyUsed(), state)
+        idle = state.idle_socket_ids()
+        state.time_s = 0.0
+        a = policy.select_socket(make_job(0), idle, state)
+        for i in range(1, state.n_sockets):
+            state.time_s = float(i)
+            policy.select_socket(make_job(i), idle, state)
+        state.time_s = 100.0
+        again = policy.select_socket(make_job(99), idle, state)
+        assert again == a

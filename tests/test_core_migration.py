@@ -1,0 +1,166 @@
+"""Tests for the thermal-aware migration extension."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import get_scheduler
+from repro.core.migration import MigrationPolicy
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import Simulation
+from repro.sim.state import SimulationState
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.benchmark import BenchmarkSet
+from repro.workloads.job import Job
+from repro.workloads.pcmark import PCMARK_APPS
+
+
+@pytest.fixture
+def state(small_sut, smoke_params):
+    return SimulationState(small_sut, smoke_params)
+
+
+def long_job(job_id=0):
+    return Job(
+        job_id=job_id,
+        app=PCMARK_APPS[0],
+        arrival_s=0.0,
+        work_ms=500.0,
+    )
+
+
+class TestStateMigrate:
+    def test_moves_job_and_parameters(self, state):
+        job = long_job()
+        state.assign(job, 0)
+        state.remaining_work_ms[0] = 200.0
+        state.migrate(0, 5, cost_ms=3.0)
+        assert not state.busy[0]
+        assert state.busy[5]
+        assert state.running_jobs[5] is job
+        assert job.socket_id == 5
+        assert state.remaining_work_ms[5] == pytest.approx(203.0)
+        assert state.dyn_max_w[0] == 0.0
+        assert state.dyn_max_w[5] > 0.0
+
+    def test_start_time_preserved(self, state):
+        state.time_s = 1.0
+        job = long_job()
+        state.assign(job, 0)
+        state.time_s = 2.0
+        state.migrate(0, 3)
+        assert job.start_s == 1.0
+
+    def test_idle_source_rejected(self, state):
+        with pytest.raises(SimulationError):
+            state.migrate(0, 1)
+
+    def test_busy_destination_rejected(self, state):
+        state.assign(long_job(0), 0)
+        state.assign(long_job(1), 1)
+        with pytest.raises(SimulationError):
+            state.migrate(0, 1)
+
+    def test_negative_cost_rejected(self, state):
+        state.assign(long_job(), 0)
+        with pytest.raises(SimulationError):
+            state.migrate(0, 1, cost_ms=-1.0)
+
+
+class TestMigrationPolicy:
+    def test_proposes_move_off_throttled_socket(self, state):
+        policy = MigrationPolicy(min_gain_mhz=100.0)
+        job = long_job()
+        state.assign(job, 0)
+        state.freq_mhz[0] = 1100.0
+        state.thermal.sink_c[0] = 90.0
+        state.thermal.chip_c[0] = 92.0
+        moves = policy.propose(state)
+        assert len(moves) == 1
+        source, destination = moves[0]
+        assert source == 0
+        assert not state.busy[destination]
+
+    def test_no_move_without_gain(self, state):
+        policy = MigrationPolicy()
+        job = long_job()
+        state.assign(job, 0)
+        state.freq_mhz[0] = 1900.0  # already at the top
+        assert policy.propose(state) == []
+
+    def test_short_jobs_not_migrated(self, state):
+        policy = MigrationPolicy(min_remaining_ms=100.0)
+        job = Job(
+            job_id=0, app=PCMARK_APPS[0], arrival_s=0.0, work_ms=10.0
+        )
+        state.assign(job, 0)
+        state.freq_mhz[0] = 1100.0
+        assert policy.propose(state) == []
+
+    def test_destinations_unique_per_round(self, state):
+        policy = MigrationPolicy(min_gain_mhz=100.0)
+        for socket_id in (0, 1, 2):
+            state.assign(long_job(socket_id), socket_id)
+            state.freq_mhz[socket_id] = 1100.0
+            state.thermal.sink_c[socket_id] = 90.0
+            state.thermal.chip_c[socket_id] = 92.0
+        moves = policy.propose(state)
+        destinations = [d for _, d in moves]
+        assert len(destinations) == len(set(destinations))
+
+    def test_max_moves_cap(self, state):
+        policy = MigrationPolicy(min_gain_mhz=100.0, max_moves_per_round=1)
+        for socket_id in (0, 1, 2):
+            state.assign(long_job(socket_id), socket_id)
+            state.freq_mhz[socket_id] = 1100.0
+            state.thermal.sink_c[socket_id] = 90.0
+            state.thermal.chip_c[socket_id] = 92.0
+        assert len(policy.propose(state)) == 1
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SchedulingError):
+            MigrationPolicy(interval_s=0.0)
+        with pytest.raises(SchedulingError):
+            MigrationPolicy(min_gain_mhz=0.0)
+        with pytest.raises(SchedulingError):
+            MigrationPolicy(max_moves_per_round=0)
+
+
+class TestEngineIntegration:
+    def _run(self, topology, migrator):
+        params = smoke().with_overrides(duration_scale=100.0)
+        arrivals = ArrivalProcess(
+            benchmark_set=BenchmarkSet.COMPUTATION,
+            load=0.7,
+            n_sockets=topology.n_sockets,
+            seed=0,
+            duration_scale=params.duration_scale,
+        )
+        jobs = arrivals.generate(params.sim_time_s)
+        sim = Simulation(
+            topology, params, get_scheduler("CF"), migrator=migrator
+        )
+        return sim.run(jobs)
+
+    def test_migrations_happen_for_long_jobs(self, small_sut):
+        result = self._run(
+            small_sut,
+            MigrationPolicy(
+                interval_s=0.05,
+                min_remaining_ms=50.0,
+                min_gain_mhz=150.0,
+            ),
+        )
+        assert result.n_migrations > 0
+
+    def test_no_migrator_means_no_migrations(self, small_sut):
+        result = self._run(small_sut, None)
+        assert result.n_migrations == 0
+
+    def test_migrated_run_completes_jobs(self, small_sut):
+        result = self._run(
+            small_sut, MigrationPolicy(interval_s=0.05)
+        )
+        assert result.n_jobs_completed > 0
+        for job in result.completed_jobs:
+            assert job.finish_s > job.start_s

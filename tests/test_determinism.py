@@ -1,0 +1,115 @@
+"""Cross-cutting determinism guarantees.
+
+Every comparison in the paper relies on running different schedulers on
+*identical* workloads; these tests pin the reproducibility contract at
+each layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import all_scheduler_names, get_scheduler
+from repro.sim.export import sweep_summaries
+from repro.sim.runner import run_once, run_sweep
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.benchmark import BenchmarkSet
+from repro.workloads.load_profile import (
+    VaryingLoadProcess,
+    ramp_profile,
+)
+
+
+class TestWorkloadDeterminism:
+    def test_arrival_stream_bitwise_stable(self):
+        def stream():
+            return ArrivalProcess(
+                benchmark_set=BenchmarkSet.GENERAL_PURPOSE,
+                load=0.5,
+                n_sockets=24,
+                seed=11,
+            ).generate(3.0)
+
+        a, b = stream(), stream()
+        assert [(j.arrival_s, j.work_ms, j.app.name) for j in a] == [
+            (j.arrival_s, j.work_ms, j.app.name) for j in b
+        ]
+
+    def test_ramp_stream_bitwise_stable(self):
+        phases = ramp_profile(0.2, 0.8, 3, 3.0)
+
+        def stream():
+            return VaryingLoadProcess(
+                benchmark_set=BenchmarkSet.STORAGE,
+                phases=phases,
+                n_sockets=12,
+                seed=5,
+            ).generate()
+
+        a, b = stream(), stream()
+        assert [(j.arrival_s, j.work_ms) for j in a] == [
+            (j.arrival_s, j.work_ms) for j in b
+        ]
+
+
+class TestSimulationDeterminism:
+    @pytest.mark.parametrize("scheme", ["CF", "Random", "CP", "A-Random"])
+    def test_full_run_repeatable(self, small_sut, scheme):
+        """Even randomized policies repeat exactly (seeded RNG)."""
+        params = smoke(seed=4)
+
+        def run():
+            return run_once(
+                small_sut,
+                params,
+                get_scheduler(scheme),
+                BenchmarkSet.COMPUTATION,
+                0.6,
+            )
+
+        a, b = run(), run()
+        assert a.energy_j == b.energy_j
+        assert a.mean_runtime_expansion == b.mean_runtime_expansion
+        np.testing.assert_array_equal(a.work_done, b.work_done)
+        assert [j.socket_id for j in a.completed_jobs] == [
+            j.socket_id for j in b.completed_jobs
+        ]
+
+    def test_sweep_summaries_repeatable(self, small_sut):
+        params = smoke(seed=2)
+
+        def summaries():
+            results = run_sweep(
+                small_sut,
+                params,
+                scheduler_names=("CF", "HF"),
+                benchmark_sets=(BenchmarkSet.STORAGE,),
+                loads=(0.4,),
+            )
+            return sweep_summaries(results)
+
+        assert summaries() == summaries()
+
+    def test_schedulers_isolated_across_runs(self, small_sut):
+        """Running scheduler A never perturbs a later run of B."""
+        params = smoke(seed=3)
+
+        def run_cp():
+            return run_once(
+                small_sut,
+                params,
+                get_scheduler("CP"),
+                BenchmarkSet.COMPUTATION,
+                0.5,
+            ).mean_runtime_expansion
+
+        baseline = run_cp()
+        for name in all_scheduler_names():
+            run_once(
+                small_sut,
+                params,
+                get_scheduler(name),
+                BenchmarkSet.COMPUTATION,
+                0.5,
+            )
+        assert run_cp() == baseline

@@ -1,0 +1,49 @@
+"""Tests for the extension experiments (load transient, fig02)."""
+
+import pytest
+
+from repro.experiments import fig02_cartridge_thermals, load_transient
+from repro.experiments.common import ExperimentConfig
+from repro.workloads.benchmark import BenchmarkSet
+
+
+class TestFig02:
+    def test_cfd_anecdote_reproduced(self):
+        result = fig02_cartridge_thermals.run()
+        assert result.entry_delta_c == pytest.approx(8.0, abs=1.0)
+
+    def test_two_sink_design_compensates(self):
+        """The 30-fin downstream sink nearly cancels the hotter air."""
+        result = fig02_cartridge_thermals.run()
+        assert abs(result.chip_c[1] - result.chip_c[0]) < 2.0
+
+    def test_longer_chain_monotone_entry(self):
+        result = fig02_cartridge_thermals.run(chain_length=6)
+        assert list(result.entry_c) == sorted(result.entry_c)
+        assert len(result.positions) == 6
+
+    def test_power_scales_delta(self):
+        low = fig02_cartridge_thermals.run(power_w=8.0)
+        high = fig02_cartridge_thermals.run(power_w=15.0)
+        assert high.entry_delta_c > low.entry_delta_c
+
+    def test_main_prints(self, capsys):
+        fig02_cartridge_thermals.main()
+        assert "Figure 2" in capsys.readouterr().out
+
+
+class TestLoadTransient:
+    def test_tiny_ramp_runs(self):
+        config = ExperimentConfig(
+            n_rows=2,
+            sim_time_s=6.0,
+            warmup_s=2.0,
+        )
+        result = load_transient.run(
+            config, schemes=("CF", "CP"), low=0.3, high=0.7, steps=2
+        )
+        assert set(result.expansion) == {"CF", "CP"}
+        assert result.ramp == (0.3, 0.7)
+        relative = result.relative_to("CF")
+        assert relative["CF"] == pytest.approx(1.0)
+        assert result.best in ("CF", "CP")

@@ -1,0 +1,59 @@
+"""Tests for the reproduction report builder."""
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+from repro.experiments.report import build_report, write_report
+
+
+class TestBuildReport:
+    def test_light_report_covers_all_fast_artifacts(self):
+        report = build_report(include_heavy=False)
+        for name in (
+            "fig01",
+            "fig02",
+            "fig05",
+            "fig06",
+            "fig07",
+            "fig09",
+            "fig10",
+            "table1",
+            "table2",
+            "table3",
+        ):
+            assert f"## {name}" in report
+
+    def test_light_report_excludes_heavy(self):
+        report = build_report(include_heavy=False)
+        assert "## fig14" not in report
+
+    def test_contains_regenerated_values(self):
+        report = build_report(include_heavy=False)
+        assert "51.74" in report  # Table II DensityOpt CFM
+        assert "95 C" in report  # Table III limit
+
+    def test_explicit_experiment_list(self):
+        report = build_report(
+            experiments=[get_experiment("table2")]
+        )
+        assert "## table2" in report
+        assert "## table1" not in report
+
+    def test_write_report(self, tmp_path):
+        path = str(tmp_path / "report.md")
+        out = write_report(path)
+        assert out == path
+        with open(path) as handle:
+            content = handle.read()
+        assert content.startswith("# Reproduction report")
+
+
+class TestCLIReport:
+    def test_cli_writes_report(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = str(tmp_path / "r.md")
+        assert main(["report", "--out", path]) == 0
+        assert "wrote" in capsys.readouterr().out
+        with open(path) as handle:
+            assert "fig01" in handle.read()

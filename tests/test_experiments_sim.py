@@ -1,0 +1,95 @@
+"""Smoke tests for the simulation-backed experiment modules.
+
+Full-size versions run in the benchmark harness; here we exercise the
+experiment plumbing (config handling, result containers, row
+formatting) on minimal configurations.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig03_motivation,
+    fig11_existing_schemes,
+    fig13_zone_behavior,
+    fig14_performance,
+    fig15_ed2,
+)
+from repro.experiments.common import ExperimentConfig
+from repro.workloads.benchmark import BenchmarkSet
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        n_rows=2,
+        sim_time_s=6.0,
+        warmup_s=2.0,
+        loads=(0.4,),
+        benchmark_sets=(BenchmarkSet.STORAGE,),
+    )
+
+
+class TestFig03:
+    def test_runs_and_reports(self):
+        result = fig03_motivation.run(
+            load=0.5, sim_time_s=8.0, warmup_s=3.0
+        )
+        assert set(result.performance) == {
+            "uncoupled/CF",
+            "uncoupled/HF",
+            "coupled/CF",
+            "coupled/HF",
+        }
+        assert result.cf_advantage_uncoupled > 0.8
+        assert result.hf_advantage_coupled > 0.8
+
+
+class TestFig11:
+    def test_structure(self, tiny_config):
+        result = fig11_existing_schemes.run(
+            tiny_config, loads=(0.4,), schemes=("CF", "HF")
+        )
+        assert result.expansion_vs_cf[("CF", 0.4)] == 1.0
+        assert ("HF", 0.4) in result.expansion_vs_cf
+        assert len(result.rows()) == 2
+
+    def test_best_at(self, tiny_config):
+        result = fig11_existing_schemes.run(
+            tiny_config, loads=(0.4,), schemes=("CF", "HF")
+        )
+        assert result.best_at(0.4) in ("CF", "HF")
+
+
+class TestFig13:
+    def test_reports_all_cells(self, tiny_config):
+        result = fig13_zone_behavior.run(
+            tiny_config, loads=(0.4,), schemes=("CF", "HF")
+        )
+        assert set(result.reports) == {("CF", 0.4), ("HF", 0.4)}
+        rows = result.rows(0.4)
+        assert len(rows) == 2
+        for row in rows:
+            front_work, back_work = row[4], row[5]
+            assert front_work + back_work == pytest.approx(1.0, abs=0.01)
+
+
+class TestFig14:
+    def test_structure_and_helpers(self, tiny_config):
+        result = fig14_performance.run(
+            tiny_config, schemes=("CF", "CP")
+        )
+        key = ("CP", BenchmarkSet.STORAGE, 0.4)
+        assert key in result.performance_vs_cf
+        assert result.average_gain("CP", BenchmarkSet.STORAGE) > 0.9
+        assert result.peak_gain("CF", BenchmarkSet.STORAGE) == 1.0
+        assert len(result.rows(BenchmarkSet.STORAGE)) == 2
+
+
+class TestFig15:
+    def test_structure_and_helpers(self, tiny_config):
+        result = fig15_ed2.run(tiny_config, schemes=("CF", "CP"))
+        assert result.ed2_vs_cf[
+            ("CF", BenchmarkSet.STORAGE, 0.4)
+        ] == 1.0
+        assert result.best_ed2(BenchmarkSet.STORAGE) > 0.5
+        assert len(result.rows(BenchmarkSet.STORAGE)) == 2

@@ -1,0 +1,87 @@
+"""Whole-stack integration: every optional engine feature at once."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import get_scheduler
+from repro.core.migration import MigrationPolicy
+from repro.sim.engine import Simulation
+from repro.sim.export import result_summary
+from repro.sim.tracing import TraceConfig
+from repro.thermal.fan_control import FanController
+from repro.workloads.benchmark import BenchmarkSet
+from repro.workloads.load_profile import (
+    VaryingLoadProcess,
+    ramp_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def combined_result():
+    from repro.server.topology import moonshot_sut
+
+    topology = moonshot_sut(n_rows=2)
+    params = smoke(seed=1).with_overrides(duration_scale=60.0)
+    phases = ramp_profile(
+        0.3, 0.9, steps=2, total_duration_s=params.sim_time_s
+    )
+    jobs = VaryingLoadProcess(
+        benchmark_set=BenchmarkSet.COMPUTATION,
+        phases=phases,
+        n_sockets=topology.n_sockets,
+        seed=1,
+        duration_scale=params.duration_scale,
+    ).generate()
+    sim = Simulation(
+        topology,
+        params,
+        get_scheduler("CP"),
+        migrator=MigrationPolicy(interval_s=0.1, min_gain_mhz=300.0),
+        fan_controller=FanController(
+            design_total_cfm=topology.total_airflow_cfm()
+        ),
+        trace_config=TraceConfig(interval_s=0.1),
+    )
+    return sim.run(jobs), topology
+
+
+class TestCombinedRun:
+    def test_completes_jobs(self, combined_result):
+        result, _ = combined_result
+        assert result.n_jobs_completed > 0
+
+    def test_all_features_active(self, combined_result):
+        result, _ = combined_result
+        assert result.trace is not None
+        assert len(result.trace) > 0
+        assert result.cooling_energy_j > 0
+        # Migration may or may not trigger at this scale; the counter
+        # must at least be wired.
+        assert result.n_migrations >= 0
+
+    def test_fan_scale_responds_to_ramp(self, combined_result):
+        result, _ = combined_result
+        assert 0.4 <= result.mean_airflow_scale <= 1.25
+
+    def test_invariants_still_hold(self, combined_result):
+        result, topology = combined_result
+        assert (
+            result.busy_time_s <= result.measured_span_s + 1e-9
+        ).all()
+        assert (result.boost_time_s <= result.busy_time_s + 1e-9).all()
+        assert result.max_chip_c.max() < 130.0
+        for job in result.completed_jobs:
+            assert job.runtime_expansion >= 1.0 - 1e-9
+
+    def test_trace_utilization_rises_through_ramp(self, combined_result):
+        result, _ = combined_result
+        util = np.asarray(result.trace.utilization)
+        half = len(util) // 2
+        assert util[half:].mean() > util[:half].mean()
+
+    def test_exportable(self, combined_result):
+        result, _ = combined_result
+        summary = result_summary(result, BenchmarkSet.COMPUTATION, 0.6)
+        assert summary["n_migrations"] == result.n_migrations
+        assert summary["scheduler"] == "CP"

@@ -1,0 +1,201 @@
+"""Tests for the repro.metrics package."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import get_scheduler
+from repro.errors import ReproError, SimulationError
+from repro.metrics.energy import energy_summary, relative_ed2
+from repro.metrics.performance import (
+    relative_performance,
+    relative_runtime_expansion,
+    response_time_stats,
+    runtime_expansion_stats,
+)
+from repro.metrics.stats import coefficient_of_variation, summarize
+from repro.metrics.zones import zone_report
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_once
+from repro.workloads.benchmark import BenchmarkSet
+
+
+@pytest.fixture(scope="module")
+def two_results():
+    from repro.server.topology import moonshot_sut
+
+    topology = moonshot_sut(n_rows=2)
+    params = smoke()
+    cf = run_once(
+        topology,
+        params,
+        get_scheduler("CF"),
+        BenchmarkSet.COMPUTATION,
+        0.6,
+    )
+    hf = run_once(
+        topology,
+        params,
+        get_scheduler("HF"),
+        BenchmarkSet.COMPUTATION,
+        0.6,
+    )
+    return cf, hf
+
+
+class TestStats:
+    def test_cov_known_value(self):
+        assert coefficient_of_variation([2.0, 4.0]) == pytest.approx(
+            1.0 / 3.0
+        )
+
+    def test_cov_of_constant_is_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_cov_empty_rejected(self):
+        with pytest.raises(ReproError):
+            coefficient_of_variation([])
+
+    def test_cov_zero_mean_rejected(self):
+        with pytest.raises(ReproError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.count == 3
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+
+class TestPerformanceMetrics:
+    def test_relative_performance_reciprocal(self, two_results):
+        cf, hf = two_results
+        ratio = relative_performance(hf, cf)
+        inverse = relative_runtime_expansion(hf, cf)
+        assert ratio == pytest.approx(1.0 / inverse)
+
+    def test_self_relative_is_one(self, two_results):
+        cf, _ = two_results
+        assert relative_performance(cf, cf) == pytest.approx(1.0)
+
+    def test_expansion_stats_ordering(self, two_results):
+        cf, _ = two_results
+        stats = runtime_expansion_stats(cf)
+        assert (
+            1.0 - 1e-9
+            <= stats.p50
+            <= stats.p95
+            <= stats.p99
+            <= stats.worst
+        )
+
+    def test_response_stats_dominate_expansion(self, two_results):
+        """Response (with queueing) >= service expansion pointwise."""
+        cf, _ = two_results
+        expansion = runtime_expansion_stats(cf)
+        response = response_time_stats(cf)
+        assert response.mean >= expansion.mean - 1e-9
+        assert response.p95 >= expansion.p95 - 1e-9
+        assert response.worst >= expansion.worst - 1e-9
+
+    def test_response_stats_empty_rejected(self, two_results):
+        cf, _ = two_results
+        empty = SimulationResult(
+            scheduler_name="x",
+            params=cf.params,
+            topology=cf.topology,
+        )
+        with pytest.raises(ReproError):
+            response_time_stats(empty)
+
+    def test_expansion_stats_empty_rejected(self, two_results):
+        cf, _ = two_results
+        empty = SimulationResult(
+            scheduler_name="x",
+            params=cf.params,
+            topology=cf.topology,
+        )
+        with pytest.raises(ReproError):
+            runtime_expansion_stats(empty)
+
+
+class TestEnergyMetrics:
+    def test_ed2_definition(self, two_results):
+        cf, _ = two_results
+        assert cf.ed2_j_s2 == pytest.approx(
+            cf.energy_j * cf.mean_runtime_expansion**2
+        )
+
+    def test_relative_ed2_self_is_one(self, two_results):
+        cf, _ = two_results
+        assert relative_ed2(cf, cf) == pytest.approx(1.0)
+
+    def test_energy_summary_consistent(self, two_results):
+        cf, _ = two_results
+        summary = energy_summary(cf)
+        assert summary.energy_j == pytest.approx(cf.energy_j)
+        assert summary.average_power_w == pytest.approx(
+            cf.average_power_w
+        )
+        assert summary.energy_per_job_j == pytest.approx(
+            cf.energy_j / cf.n_jobs_completed
+        )
+
+
+class TestZoneMetrics:
+    def test_work_fractions_sum_to_one(self, two_results):
+        cf, _ = two_results
+        report = zone_report(cf)
+        assert report.front_work + report.back_work == pytest.approx(
+            1.0
+        )
+        assert 0.0 <= report.even_work <= 1.0
+
+    def test_frequencies_in_unit_range(self, two_results):
+        cf, _ = two_results
+        report = zone_report(cf)
+        for value in (
+            report.front_freq,
+            report.back_freq,
+            report.even_freq,
+        ):
+            assert 1100 / 1900 - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_cf_front_loads(self, two_results):
+        cf, _ = two_results
+        report = zone_report(cf)
+        assert report.front_work > 0.5
+
+    def test_hf_back_loads(self, two_results):
+        _, hf = two_results
+        report = zone_report(hf)
+        assert report.back_work > 0.5
+
+
+class TestSimulationResultGuards:
+    def test_empty_result_rejects_metrics(self, two_results):
+        cf, _ = two_results
+        empty = SimulationResult(
+            scheduler_name="x",
+            params=cf.params,
+            topology=cf.topology,
+        )
+        with pytest.raises(SimulationError):
+            _ = empty.mean_runtime_expansion
+        with pytest.raises(SimulationError):
+            _ = empty.average_power_w
+
+    def test_work_fraction_of_empty_is_zero(self, two_results):
+        cf, _ = two_results
+        empty = SimulationResult(
+            scheduler_name="x",
+            params=cf.params,
+            topology=cf.topology,
+        )
+        mask = np.ones(cf.topology.n_sockets, dtype=bool)
+        assert empty.work_fraction(mask) == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the robustness (regret) metrics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.robustness import (
+    most_robust,
+    robustness_report,
+)
+
+LOADS = (0.3, 0.7)
+
+
+def grid(**values):
+    """Build a (scheme, load) performance map from scheme -> tuple."""
+    out = {}
+    for scheme, perfs in values.items():
+        for load, perf in zip(LOADS, perfs):
+            out[(scheme, load)] = perf
+    return out
+
+
+class TestRobustnessReport:
+    def test_always_best_scheme_has_zero_regret(self):
+        performance = grid(A=(1.0, 1.0), B=(0.9, 0.95))
+        reports = robustness_report(performance, ("A", "B"), LOADS)
+        assert reports["A"].worst_regret == pytest.approx(0.0)
+        assert reports["A"].wins == 2
+
+    def test_regret_measured_vs_per_load_best(self):
+        performance = grid(A=(1.0, 0.9), B=(0.9, 1.0))
+        reports = robustness_report(performance, ("A", "B"), LOADS)
+        assert reports["A"].worst_regret == pytest.approx(0.1)
+        assert reports["B"].worst_regret == pytest.approx(0.1)
+        assert reports["A"].wins == 1
+        assert reports["B"].wins == 1
+
+    def test_mean_regret(self):
+        performance = grid(A=(1.0, 1.0), B=(0.9, 1.0))
+        reports = robustness_report(performance, ("A", "B"), LOADS)
+        assert reports["B"].mean_regret == pytest.approx(0.05)
+
+    def test_tie_tolerance_counts_near_best_as_win(self):
+        performance = grid(A=(1.0, 1.0), B=(0.998, 1.0))
+        reports = robustness_report(
+            performance, ("A", "B"), LOADS, tie_tolerance=0.005
+        )
+        assert reports["B"].wins == 2
+
+    def test_missing_cell_rejected(self):
+        performance = {("A", 0.3): 1.0}
+        with pytest.raises(ReproError):
+            robustness_report(performance, ("A",), LOADS)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            robustness_report({}, (), LOADS)
+
+
+class TestMostRobust:
+    def test_picks_smallest_worst_regret(self):
+        performance = grid(
+            A=(1.0, 0.80),  # great then terrible
+            B=(0.97, 0.97),  # consistently close
+        )
+        reports = robustness_report(performance, ("A", "B"), LOADS)
+        assert most_robust(reports) == "B"
+
+    def test_cp_style_story(self):
+        """A CP-like scheme that is near-best everywhere wins the
+        robustness comparison against point-optimised schemes — the
+        paper's closing argument."""
+        loads = (0.1, 0.5, 0.9)
+        performance = {}
+        values = {
+            "CF": (1.00, 0.99, 0.96),
+            "HF": (0.89, 0.99, 1.01),
+            "Predictive": (1.00, 1.00, 0.96),
+            "CP": (1.00, 1.01, 1.005),
+        }
+        for scheme, perfs in values.items():
+            for load, perf in zip(loads, perfs):
+                performance[(scheme, load)] = perf
+        reports = robustness_report(
+            performance, tuple(values), loads
+        )
+        assert most_robust(reports) == "CP"
+        assert reports["CP"].worst_regret < 0.01
+        assert reports["HF"].worst_regret > 0.05
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            most_robust({})

@@ -1,0 +1,127 @@
+"""Property-based tests for the detailed model and steady-state solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.parameters import SimulationParameters
+from repro.server.topology import moonshot_sut
+from repro.sim.steady_state import solve_steady_state
+from repro.thermal.detailed_model import DetailedChipModel
+from repro.thermal.heatsink import FIN_18, FIN_30
+
+PARAMS = SimulationParameters()
+TOPOLOGY = moonshot_sut(n_rows=1)
+
+block_names = st.sampled_from(
+    ["core0", "core1", "core2", "core3", "l2", "gpu", "uncore", "io"]
+)
+
+
+class TestDetailedModelProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ambient=st.floats(10.0, 60.0),
+        power=st.floats(0.0, 25.0),
+        block=block_names,
+    )
+    def test_hotter_than_ambient(self, ambient, power, block):
+        model = DetailedChipModel(FIN_18)
+        result = model.solve(ambient, {block: power})
+        assert result.min_temperature_c >= ambient - 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ambient=st.floats(10.0, 60.0),
+        power=st.floats(0.5, 25.0),
+        block=block_names,
+    )
+    def test_powered_block_is_hottest(self, ambient, power, block):
+        model = DetailedChipModel(FIN_30)
+        result = model.solve(ambient, {block: power})
+        assert result.hottest_block == block
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ambient=st.floats(10.0, 60.0),
+        p1=st.floats(0.5, 12.0),
+        p2=st.floats(0.5, 12.0),
+    )
+    def test_monotone_in_power(self, ambient, p1, p2):
+        model = DetailedChipModel(FIN_18)
+        low, high = sorted((p1, p2))
+        cool = model.solve_uniform(ambient, low)
+        warm = model.solve_uniform(ambient, high)
+        assert (
+            warm.max_temperature_c >= cool.max_temperature_c - 1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        power=st.floats(0.5, 20.0),
+        shift=st.floats(0.5, 30.0),
+    )
+    def test_ambient_shift_additive(self, power, shift):
+        model = DetailedChipModel(FIN_18)
+        base = model.solve_uniform(20.0, power)
+        moved = model.solve_uniform(20.0 + shift, power)
+        assert (
+            moved.max_temperature_c - base.max_temperature_c
+        ) == pytest.approx(shift, abs=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(power=st.floats(1.0, 20.0))
+    def test_spread_invariant_to_ambient(self, power):
+        model = DetailedChipModel(FIN_30)
+        a = model.solve_uniform(15.0, power)
+        b = model.solve_uniform(45.0, power)
+        assert a.spread_c == pytest.approx(b.spread_c, abs=1e-6)
+
+
+class TestSteadyStateProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        utilization=st.floats(0.0, 1.0),
+        dynamic=st.floats(0.0, 14.0),
+    )
+    def test_field_physical(self, utilization, dynamic):
+        n = TOPOLOGY.n_sockets
+        field = solve_steady_state(
+            TOPOLOGY,
+            PARAMS,
+            np.full(n, dynamic),
+            np.full(n, utilization),
+        )
+        assert (field.ambient_c >= PARAMS.inlet_c - 1e-9).all()
+        assert (field.sink_c >= field.ambient_c - 1e-9).all()
+        assert (field.chip_c >= field.sink_c - 1e-9).all()
+        assert (field.power_w > 0).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        u1=st.floats(0.0, 1.0),
+        u2=st.floats(0.0, 1.0),
+        dynamic=st.floats(1.0, 14.0),
+    )
+    def test_monotone_in_utilization(self, u1, u2, dynamic):
+        n = TOPOLOGY.n_sockets
+        low, high = sorted((u1, u2))
+        cool = solve_steady_state(
+            TOPOLOGY, PARAMS, np.full(n, dynamic), np.full(n, low)
+        )
+        warm = solve_steady_state(
+            TOPOLOGY, PARAMS, np.full(n, dynamic), np.full(n, high)
+        )
+        assert (warm.chip_c >= cool.chip_c - 1e-6).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(dynamic=st.floats(1.0, 14.0))
+    def test_entry_temps_monotone_along_chain(self, dynamic):
+        n = TOPOLOGY.n_sockets
+        field = solve_steady_state(
+            TOPOLOGY, PARAMS, np.full(n, dynamic), np.ones(n)
+        )
+        for chain in TOPOLOGY.coupling_chains():
+            temps = field.ambient_c[list(chain.socket_ids)]
+            assert (np.diff(temps) >= -1e-9).all()

@@ -1,0 +1,79 @@
+"""Property-based tests: every policy returns a valid idle socket."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.presets import smoke
+from repro.core import all_scheduler_names, get_scheduler
+from repro.server.topology import moonshot_sut
+from repro.sim.state import SimulationState
+from repro.workloads.job import Job
+from repro.workloads.pcmark import PCMARK_APPS
+
+TOPOLOGY = moonshot_sut(n_rows=2)
+PARAMS = smoke()
+
+
+def randomized_state(seed: int) -> SimulationState:
+    """A state with random temperatures and busy pattern."""
+    rng = np.random.default_rng(seed)
+    state = SimulationState(TOPOLOGY, PARAMS)
+    n = state.n_sockets
+    state.thermal.sink_c = rng.uniform(18.0, 95.0, n)
+    state.thermal.chip_c = state.thermal.sink_c + rng.uniform(0, 8, n)
+    state.ambient_c = rng.uniform(18.0, 70.0, n)
+    state.history_c = rng.uniform(18.0, 95.0, n)
+    state.busy_ema = rng.uniform(0.0, 1.0, n)
+    busy_count = int(rng.integers(0, n - 1))
+    for socket_id in rng.choice(n, size=busy_count, replace=False):
+        state.assign(
+            Job(
+                job_id=int(socket_id),
+                app=PCMARK_APPS[int(rng.integers(0, len(PCMARK_APPS)))],
+                arrival_s=0.0,
+                work_ms=float(rng.uniform(1.0, 100.0)),
+            ),
+            int(socket_id),
+        )
+    state.freq_mhz = rng.choice(
+        [1100.0, 1300.0, 1500.0, 1700.0, 1900.0], size=n
+    )
+    return state
+
+
+@pytest.mark.parametrize("name", all_scheduler_names())
+class TestPolicyContract:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_returns_idle_socket(self, name, seed):
+        state = randomized_state(seed)
+        idle = state.idle_socket_ids()
+        policy = get_scheduler(name)
+        policy.reset(state, np.random.default_rng(seed))
+        job = Job(
+            job_id=99999,
+            app=PCMARK_APPS[seed % len(PCMARK_APPS)],
+            arrival_s=0.0,
+            work_ms=5.0,
+        )
+        chosen = policy.select_socket(job, idle, state)
+        assert chosen in idle
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_deterministic_given_rng_seed(self, name, seed):
+        job = Job(
+            job_id=0, app=PCMARK_APPS[0], arrival_s=0.0, work_ms=5.0
+        )
+
+        def pick():
+            state = randomized_state(seed)
+            policy = get_scheduler(name)
+            policy.reset(state, np.random.default_rng(7))
+            return policy.select_socket(
+                job, state.idle_socket_ids(), state
+            )
+
+        assert pick() == pick()

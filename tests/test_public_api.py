@@ -1,0 +1,65 @@
+"""Tests for the package-level public API and error hierarchy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    ThermalModelError,
+    TopologyError,
+    WorkloadError,
+)
+
+
+class TestExports:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points(self):
+        assert callable(repro.run_once)
+        assert callable(repro.moonshot_sut)
+        assert callable(repro.get_scheduler)
+        assert callable(repro.scaled)
+
+    def test_table_i_reachable(self):
+        assert len(repro.TABLE_I_SYSTEMS) == 11
+
+    def test_heat_sinks_reachable(self):
+        assert repro.FIN_18.fin_count == 18
+        assert repro.FIN_30.fin_count == 30
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            TopologyError,
+            ThermalModelError,
+            WorkloadError,
+            SchedulingError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catch_all_pattern(self):
+        """A caller can catch every library error with one except."""
+        try:
+            repro.get_scheduler("definitely-not-a-policy")
+        except ReproError:
+            pass
+        else:  # pragma: no cover
+            pytest.fail("expected a ReproError")

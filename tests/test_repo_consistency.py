@@ -1,0 +1,132 @@
+"""Consistency checks between code, benchmarks, examples and docs."""
+
+import os
+import py_compile
+
+import pytest
+
+from repro.experiments.registry import all_experiments
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def repo_path(*parts) -> str:
+    return os.path.join(REPO_ROOT, *parts)
+
+
+class TestBenchmarkCoverage:
+    def test_every_registered_artifact_has_a_bench(self):
+        bench_dir = repo_path("benchmarks")
+        benches = set(os.listdir(bench_dir))
+        for experiment in all_experiments():
+            expected = [
+                name
+                for name in benches
+                if experiment.name in name.replace("_", "")
+                or experiment.name in name
+            ]
+            assert expected, f"no bench for {experiment.name}"
+
+    def test_bench_files_compile(self):
+        bench_dir = repo_path("benchmarks")
+        for name in sorted(os.listdir(bench_dir)):
+            if name.endswith(".py"):
+                py_compile.compile(
+                    os.path.join(bench_dir, name), doraise=True
+                )
+
+
+class TestExamples:
+    EXPECTED = (
+        "quickstart.py",
+        "vdi_scheduler_comparison.py",
+        "design_space_exploration.py",
+        "custom_scheduler.py",
+        "trace_capture_replay.py",
+        "cooling_tradeoff.py",
+        "rack_placement.py",
+        "thermal_timeline.py",
+    )
+
+    def test_all_examples_present(self):
+        examples = set(os.listdir(repo_path("examples")))
+        for name in self.EXPECTED:
+            assert name in examples
+
+    def test_examples_compile(self):
+        for name in self.EXPECTED:
+            py_compile.compile(
+                repo_path("examples", name), doraise=True
+            )
+
+    def test_examples_have_module_docstrings(self):
+        import ast
+
+        for name in self.EXPECTED:
+            with open(repo_path("examples", name)) as handle:
+                tree = ast.parse(handle.read())
+            assert ast.get_docstring(tree), name
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize(
+        "filename",
+        ["README.md", "DESIGN.md", "EXPERIMENTS.md"],
+    )
+    def test_core_docs_exist_and_substantial(self, filename):
+        path = repo_path(filename)
+        assert os.path.exists(path)
+        with open(path) as handle:
+            content = handle.read()
+        assert len(content) > 2000
+
+    def test_design_mentions_every_substitution_source(self):
+        with open(repo_path("DESIGN.md")) as handle:
+            design = handle.read()
+        for keyword in ("Icepak", "Xperf", "SPECpower", "HotSpot"):
+            assert keyword in design
+
+    def test_experiments_covers_every_artifact(self):
+        with open(repo_path("EXPERIMENTS.md")) as handle:
+            content = handle.read()
+        for artifact in (
+            "Table I",
+            "Table II",
+            "Table III",
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Figure 13",
+            "Figure 14",
+            "Figure 15",
+        ):
+            assert artifact in content, artifact
+
+    def test_readme_examples_table_matches_directory(self):
+        with open(repo_path("README.md")) as handle:
+            readme = handle.read()
+        for name in TestExamples.EXPECTED:
+            assert name in readme
+
+
+class TestPublicDocstrings:
+    def test_every_public_module_has_docstring(self):
+        import importlib
+        import pkgutil
+
+        import repro
+
+        missing = []
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            if not module.__doc__:
+                missing.append(module_info.name)
+        assert not missing, missing

@@ -1,0 +1,90 @@
+"""Tests for repro.server.catalog (Table I)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.catalog import (
+    DensityOptimizedSystem,
+    TABLE_I_SYSTEMS,
+    find_system,
+)
+
+
+class TestTableI:
+    def test_eleven_systems(self):
+        assert len(TABLE_I_SYSTEMS) == 11
+
+    def test_m700_entry(self):
+        m700 = find_system("ProLiant M700")
+        assert m700.total_sockets == 180
+        assert m700.socket_tdp_w == pytest.approx(22.0)
+        assert m700.degree_of_coupling == 5
+        assert m700.cpu == "AMD Opteron X2150"
+        assert m700.sockets_per_u == pytest.approx(45.0)
+
+    def test_density_range_matches_paper(self):
+        densities = [s.sockets_per_u for s in TABLE_I_SYSTEMS]
+        assert min(densities) == pytest.approx(4.0)
+        assert max(densities) == pytest.approx(72.0)
+
+    def test_tdp_range_matches_paper(self):
+        tdps = [s.socket_tdp_w for s in TABLE_I_SYSTEMS]
+        assert min(tdps) == pytest.approx(5.0)
+        assert max(tdps) == pytest.approx(140.0)
+
+    def test_degree_range_matches_paper(self):
+        degrees = [s.degree_of_coupling for s in TABLE_I_SYSTEMS]
+        assert min(degrees) == 1
+        assert max(degrees) == 11
+
+    def test_redstone_highest_density(self):
+        redstone = find_system("Development server")
+        assert redstone.sockets_per_u == pytest.approx(72.0)
+        assert redstone.degree_of_coupling == 11
+
+    def test_higher_density_tends_to_lower_power(self):
+        """The paper's observation: dense systems use low-power sockets."""
+        dense = [s for s in TABLE_I_SYSTEMS if s.sockets_per_u >= 25]
+        sparse = [s for s in TABLE_I_SYSTEMS if s.sockets_per_u < 10]
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean([s.socket_tdp_w for s in dense]) < mean(
+            [s.socket_tdp_w for s in sparse]
+        )
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            find_system("No Such Server")
+
+    def test_power_per_u(self):
+        m700 = find_system("ProLiant M700")
+        assert m700.power_per_u_w == pytest.approx(180 * 22.0 / 4)
+
+
+class TestValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            organization="X",
+            system="Y",
+            details="Z",
+            application_domain="test",
+            height_u=1,
+            system_organization="1 x 1",
+            total_sockets=1,
+            socket_tdp_w=10.0,
+            cpu="cpu",
+            degree_of_coupling=1,
+        )
+        base.update(overrides)
+        return base
+
+    def test_zero_height_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DensityOptimizedSystem(**self._kwargs(height_u=0))
+
+    def test_zero_sockets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DensityOptimizedSystem(**self._kwargs(total_sockets=0))
+
+    def test_zero_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DensityOptimizedSystem(**self._kwargs(degree_of_coupling=0))

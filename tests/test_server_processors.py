@@ -1,0 +1,87 @@
+"""Tests for repro.server.processors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.processors import (
+    FrequencyLadder,
+    OPTERON_X2150,
+    ProcessorSpec,
+    X2150_LADDER,
+)
+
+
+class TestX2150Ladder:
+    def test_states_match_datasheet(self):
+        assert X2150_LADDER.states_mhz == (1100, 1300, 1500, 1700, 1900)
+
+    def test_range_endpoints(self):
+        assert X2150_LADDER.min_mhz == 1100
+        assert X2150_LADDER.max_mhz == 1900
+
+    def test_boost_states(self):
+        assert X2150_LADDER.boost_states_mhz == (1700, 1900)
+
+    def test_sustained_not_boost(self):
+        assert not X2150_LADDER.is_boost(1500)
+        assert X2150_LADDER.is_boost(1700)
+        assert X2150_LADDER.is_boost(1900)
+
+
+class TestFrequencyLadder:
+    def test_highest_not_above(self):
+        assert X2150_LADDER.highest_not_above(1600) == 1500
+        assert X2150_LADDER.highest_not_above(1900) == 1900
+        assert X2150_LADDER.highest_not_above(2500) == 1900
+
+    def test_highest_not_above_below_min_falls_back(self):
+        assert X2150_LADDER.highest_not_above(500) == 1100
+
+    def test_step_down(self):
+        assert X2150_LADDER.step_down(1900) == 1700
+        assert X2150_LADDER.step_down(1100) == 1100
+
+    def test_step_up(self):
+        assert X2150_LADDER.step_up(1100) == 1300
+        assert X2150_LADDER.step_up(1900) == 1900
+
+    def test_step_on_unknown_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            X2150_LADDER.step_down(1600)
+        with pytest.raises(ConfigurationError):
+            X2150_LADDER.step_up(2000)
+
+    def test_unsorted_states_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder(states_mhz=(1500, 1100), sustained_mhz=1100)
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder(
+                states_mhz=(1100, 1100, 1500), sustained_mhz=1100
+            )
+
+    def test_sustained_must_be_a_state(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder(states_mhz=(1100, 1500), sustained_mhz=1300)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder(states_mhz=(), sustained_mhz=1100)
+
+    def test_single_state_ladder(self):
+        ladder = FrequencyLadder(states_mhz=(1000,), sustained_mhz=1000)
+        assert ladder.boost_states_mhz == ()
+        assert ladder.highest_not_above(900) == 1000
+
+
+class TestProcessorSpec:
+    def test_x2150_tdp(self):
+        assert OPTERON_X2150.tdp_w == pytest.approx(22.0)
+
+    def test_x2150_has_ladder(self):
+        assert OPTERON_X2150.ladder is X2150_LADDER
+
+    def test_non_positive_tdp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorSpec(name="bad", tdp_w=0.0)

@@ -1,0 +1,171 @@
+"""Tests for the rack-level thermal model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.server.rack import ChassisSlot, RackModel, moonshot_rack
+
+
+class TestChassisSlot:
+    def test_exhaust_rise_first_law(self):
+        slot = ChassisSlot(name="c", airflow_cfm=400.0)
+        # 1.76 * 3600 / 400 = 15.84
+        assert slot.exhaust_rise_c(3600.0) == pytest.approx(15.84)
+
+    def test_zero_power_zero_rise(self):
+        slot = ChassisSlot(name="c")
+        assert slot.exhaust_rise_c(0.0) == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(TopologyError):
+            ChassisSlot(name="c", airflow_cfm=0.0)
+        with pytest.raises(TopologyError):
+            ChassisSlot(name="c").exhaust_rise_c(-1.0)
+
+
+class TestRackModel:
+    def test_bottom_chassis_breathes_cold_aisle(self):
+        rack = moonshot_rack(n_chassis=4)
+        inlets = rack.chassis_inlets([3600.0] * 4)
+        assert inlets[0] == pytest.approx(18.0)
+
+    def test_inlets_monotone_under_uniform_load(self):
+        rack = moonshot_rack(n_chassis=6)
+        inlets = rack.chassis_inlets([2000.0] * 6)
+        assert (np.diff(inlets) >= -1e-9).all()
+
+    def test_no_recirculation_means_uniform_inlets(self):
+        rack = moonshot_rack(n_chassis=4, recirculation=0.0)
+        inlets = rack.chassis_inlets([3600.0] * 4)
+        np.testing.assert_allclose(inlets, 18.0)
+
+    def test_idle_rack_at_room_temperature(self):
+        rack = moonshot_rack(n_chassis=4)
+        inlets = rack.chassis_inlets([0.0] * 4)
+        np.testing.assert_allclose(inlets, 18.0)
+
+    def test_recirculation_compounds_up_the_rack(self):
+        rack = moonshot_rack(n_chassis=8, recirculation=0.3)
+        inlets = rack.chassis_inlets([3600.0] * 8)
+        assert inlets[-1] > inlets[1]
+
+    def test_wrong_power_length_rejected(self):
+        rack = moonshot_rack(n_chassis=4)
+        with pytest.raises(TopologyError):
+            rack.chassis_inlets([100.0] * 3)
+
+    def test_invalid_recirculation_rejected(self):
+        with pytest.raises(TopologyError):
+            moonshot_rack(recirculation=1.0)
+
+    def test_empty_rack_rejected(self):
+        with pytest.raises(TopologyError):
+            RackModel([])
+
+
+class TestLoadAssignment:
+    def test_top_down_fills_top_first(self):
+        rack = moonshot_rack(n_chassis=4)
+        loads = rack.assign_load(1.5, policy="top-down")
+        assert loads == [0.0, 0.0, 0.5, 1.0]
+
+    def test_bottom_up_fills_bottom_first(self):
+        rack = moonshot_rack(n_chassis=4)
+        loads = rack.assign_load(1.5, policy="bottom-up")
+        assert loads == [1.0, 0.5, 0.0, 0.0]
+
+    def test_uniform(self):
+        rack = moonshot_rack(n_chassis=4)
+        loads = rack.assign_load(2.0, policy="uniform")
+        assert loads == [0.5] * 4
+
+    def test_load_conserved(self):
+        rack = moonshot_rack(n_chassis=5)
+        for policy in ("top-down", "bottom-up", "uniform"):
+            assert sum(rack.assign_load(2.7, policy)) == pytest.approx(
+                2.7
+            )
+
+    def test_unknown_policy_rejected(self):
+        rack = moonshot_rack()
+        with pytest.raises(TopologyError):
+            rack.assign_load(1.0, policy="sideways")
+
+    def test_out_of_range_load_rejected(self):
+        rack = moonshot_rack(n_chassis=2)
+        with pytest.raises(TopologyError):
+            rack.assign_load(3.0)
+
+
+class TestRackLevelThermalScheduling:
+    def test_concentration_is_translation_invariant(self):
+        """A contiguous loaded block heats itself the same wherever it
+        sits: among the *loaded* chassis, top-down and bottom-up
+        concentration tie (unlike the intra-chassis case, where idle
+        heat sinks sit downwind of the load)."""
+        rack = moonshot_rack(n_chassis=8, recirculation=0.25)
+        for load in (2.0, 4.0, 6.0):
+            worst = {}
+            for policy in ("top-down", "bottom-up"):
+                loads = rack.assign_load(load, policy)
+                inlets = rack.inlets_for_load(load, policy)
+                worst[policy] = max(
+                    inlet
+                    for inlet, l in zip(inlets, loads)
+                    if l > 0
+                )
+            assert worst["top-down"] == pytest.approx(
+                worst["bottom-up"], abs=0.2
+            )
+
+    def test_uniform_spreading_minimises_worst_inlet(self):
+        """The rack-level Balanced analogue wins: spreading load keeps
+        every intake cooler than any concentration policy."""
+        rack = moonshot_rack(n_chassis=8, recirculation=0.25)
+        for load in (2.0, 4.0, 6.0):
+            uniform = float(
+                rack.inlets_for_load(load, "uniform").max()
+            )
+            concentrated = float(
+                rack.inlets_for_load(load, "bottom-up").max()
+            )
+            assert uniform < concentrated
+
+    def test_inlets_for_load_convenience(self):
+        rack = moonshot_rack(n_chassis=4)
+        inlets = rack.inlets_for_load(2.0, "bottom-up")
+        assert inlets.shape == (4,)
+        assert inlets[1] > 18.0  # heated by the loaded bottom chassis
+
+    def test_composes_with_socket_simulation(
+        self, small_sut, smoke_params
+    ):
+        """Rack inlet feeds the intra-server simulation."""
+        from repro.core import get_scheduler
+        from repro.sim.runner import run_once
+        from repro.workloads.benchmark import BenchmarkSet
+
+        rack = moonshot_rack(n_chassis=4, recirculation=0.3)
+        hot_inlet = float(
+            rack.inlets_for_load(3.0, "bottom-up")[-1]
+        )
+        cool = run_once(
+            small_sut,
+            smoke_params,
+            get_scheduler("CF"),
+            BenchmarkSet.COMPUTATION,
+            0.6,
+        )
+        hot = run_once(
+            small_sut,
+            smoke_params.with_overrides(inlet_c=hot_inlet),
+            get_scheduler("CF"),
+            BenchmarkSet.COMPUTATION,
+            0.6,
+        )
+        assert hot_inlet > 20.0
+        assert (
+            hot.mean_runtime_expansion
+            >= cool.mean_runtime_expansion
+        )

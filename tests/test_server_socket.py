@@ -1,0 +1,58 @@
+"""Tests for repro.server.socket_."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.processors import OPTERON_X2150
+from repro.server.socket_ import SocketSpec
+from repro.thermal.heatsink import FIN_18, FIN_30
+from repro.workloads.benchmark import BenchmarkSet, profile_for
+from repro.errors import WorkloadError
+
+
+class TestSocketSpec:
+    def test_tdp_from_processor(self):
+        spec = SocketSpec(processor=OPTERON_X2150, sink=FIN_18)
+        assert spec.tdp_w == pytest.approx(22.0)
+
+    def test_gated_power_default_ten_percent(self):
+        spec = SocketSpec(processor=OPTERON_X2150, sink=FIN_30)
+        assert spec.gated_power_w == pytest.approx(2.2)
+
+    def test_custom_gated_fraction(self):
+        spec = SocketSpec(
+            processor=OPTERON_X2150,
+            sink=FIN_18,
+            gated_power_fraction=0.05,
+        )
+        assert spec.gated_power_w == pytest.approx(1.1)
+
+    def test_invalid_gated_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SocketSpec(
+                processor=OPTERON_X2150,
+                sink=FIN_18,
+                gated_power_fraction=1.0,
+            )
+        with pytest.raises(ConfigurationError):
+            SocketSpec(
+                processor=OPTERON_X2150,
+                sink=FIN_18,
+                gated_power_fraction=-0.1,
+            )
+
+    def test_frozen(self):
+        spec = SocketSpec(processor=OPTERON_X2150, sink=FIN_18)
+        with pytest.raises(Exception):
+            spec.gated_power_fraction = 0.2
+
+
+class TestProfileLookup:
+    def test_every_set_has_profile(self):
+        for benchmark_set in BenchmarkSet:
+            profile = profile_for(benchmark_set)
+            assert profile.benchmark_set == benchmark_set
+
+    def test_unknown_set_rejected(self):
+        with pytest.raises(WorkloadError):
+            profile_for("not-a-set")

@@ -1,0 +1,160 @@
+"""Tests for repro.server.topology."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.server.topology import (
+    ServerTopology,
+    moonshot_sut,
+    two_socket_system,
+)
+from repro.thermal.heatsink import FIN_18, FIN_30
+
+
+class TestMoonshotSUT:
+    def test_full_sut_has_180_sockets(self):
+        assert moonshot_sut().n_sockets == 180
+
+    def test_scaled_sut(self, small_sut):
+        assert small_sut.n_sockets == 24
+
+    def test_six_zones(self, small_sut):
+        assert small_sut.n_zones == 6
+        assert set(small_sut.zone_array) == {1, 2, 3, 4, 5, 6}
+
+    def test_zone_sizes_equal(self, small_sut):
+        for zone in range(1, 7):
+            assert small_sut.sockets_in_zone(zone).size == 4
+
+    def test_odd_zones_18_fin(self, small_sut):
+        for site in small_sut.sites:
+            expected = FIN_18 if site.zone % 2 == 1 else FIN_30
+            assert site.sink is expected
+
+    def test_three_cartridges_along_airflow(self, small_sut):
+        cartridges = {s.cartridge for s in small_sut.sites}
+        assert cartridges == {0, 1, 2}
+
+    def test_intra_cartridge_spacing(self, small_sut):
+        lane = [
+            s
+            for s in small_sut.sites
+            if s.row == 0 and s.lane == 0
+        ]
+        lane.sort(key=lambda s: s.chain_pos)
+        assert lane[1].x_in - lane[0].x_in == pytest.approx(1.6)
+        assert lane[2].x_in - lane[1].x_in == pytest.approx(3.0)
+
+    def test_total_airflow(self):
+        sut = moonshot_sut()
+        # 15 rows x 2 lanes x 6.35 CFM
+        assert sut.total_airflow_cfm() == pytest.approx(190.5)
+
+    def test_front_half_mask(self, small_sut):
+        mask = small_sut.front_half_mask()
+        assert mask.sum() == small_sut.n_sockets / 2
+        assert np.all(small_sut.zone_array[mask] <= 3)
+
+    def test_even_zone_mask(self, small_sut):
+        mask = small_sut.even_zone_mask()
+        assert np.all(small_sut.zone_array[mask] % 2 == 0)
+
+    def test_coupling_chains_one_per_lane(self, small_sut):
+        chains = small_sut.coupling_chains()
+        assert len(chains) == small_sut.n_rows * small_sut.lanes_per_row
+        for chain in chains:
+            assert len(chain.socket_ids) == 6
+
+    def test_chains_ordered_upstream_first(self, small_sut):
+        for chain in small_sut.coupling_chains():
+            positions = [
+                small_sut.sites[i].chain_pos for i in chain.socket_ids
+            ]
+            assert positions == sorted(positions)
+
+    def test_rows_partition_sockets(self, small_sut):
+        seen = np.concatenate(
+            [small_sut.sockets_in_row(r) for r in range(small_sut.n_rows)]
+        )
+        assert sorted(seen) == list(range(small_sut.n_sockets))
+
+    def test_site_ids_sequential(self, small_sut):
+        for i, site in enumerate(small_sut.sites):
+            assert site.socket_id == i
+
+    def test_vector_arrays_consistent_with_sites(self, small_sut):
+        for site in small_sut.sites:
+            i = site.socket_id
+            assert small_sut.zone_array[i] == site.zone
+            assert small_sut.r_ext_array[i] == site.sink.r_ext
+            assert small_sut.tdp_array[i] == site.spec.tdp_w
+
+    def test_gated_power_is_ten_percent_tdp(self, small_sut):
+        np.testing.assert_allclose(
+            small_sut.gated_power_array, 0.1 * small_sut.tdp_array
+        )
+
+
+class TestTwoSocketSystems:
+    def test_coupled_single_chain(self):
+        topo = two_socket_system(coupled=True)
+        assert topo.n_sockets == 2
+        chains = topo.coupling_chains()
+        assert len(chains) == 1
+        assert topo.coupling.downwind_of(0).size == 1
+
+    def test_coupled_sink_arrangement(self):
+        topo = two_socket_system(coupled=True)
+        assert topo.sites[0].sink is FIN_18
+        assert topo.sites[1].sink is FIN_30
+
+    def test_uncoupled_no_interaction(self):
+        topo = two_socket_system(coupled=False)
+        assert topo.n_sockets == 2
+        assert topo.coupling.downwind_of(0).size == 0
+        assert topo.coupling.downwind_of(1).size == 0
+
+    def test_uncoupled_keeps_both_sink_types(self):
+        topo = two_socket_system(coupled=False)
+        sinks = {site.sink.name for site in topo.sites}
+        assert sinks == {"18-fin", "30-fin"}
+
+
+class TestValidation:
+    def test_zero_rows_rejected(self):
+        with pytest.raises(TopologyError):
+            ServerTopology(n_rows=0, lanes_per_row=1, chain_length=1)
+
+    def test_bad_airflow_rejected(self):
+        with pytest.raises(TopologyError):
+            ServerTopology(
+                n_rows=1,
+                lanes_per_row=1,
+                chain_length=2,
+                socket_airflow_cfm=0.0,
+            )
+
+    def test_row_out_of_range_rejected(self, small_sut):
+        with pytest.raises(TopologyError):
+            small_sut.sockets_in_row(99)
+
+    def test_zone_out_of_range_rejected(self, small_sut):
+        with pytest.raises(TopologyError):
+            small_sut.sockets_in_zone(0)
+        with pytest.raises(TopologyError):
+            small_sut.sockets_in_zone(7)
+
+    def test_uniform_sink_override(self):
+        topo = ServerTopology(
+            n_rows=1,
+            lanes_per_row=1,
+            chain_length=4,
+            uniform_sink=FIN_30,
+        )
+        assert all(site.sink is FIN_30 for site in topo.sites)
+
+    def test_site_distance(self, small_sut):
+        a, b = small_sut.sites[0], small_sut.sites[1]
+        assert a.distance_to(b) == pytest.approx(1.6)
+        assert a.distance_to(a) == 0.0

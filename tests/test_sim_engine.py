@@ -1,0 +1,202 @@
+"""Integration tests for the simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import get_scheduler
+from repro.errors import SimulationError
+from repro.server.topology import moonshot_sut, two_socket_system
+from repro.sim.engine import Simulation
+from repro.sim.runner import run_once
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.benchmark import BenchmarkSet
+from repro.workloads.job import Job
+from repro.workloads.pcmark import PCMARK_APPS
+
+
+def run_smoke(topology, scheduler_name="CF", load=0.5, **overrides):
+    params = smoke().with_overrides(**overrides)
+    return run_once(
+        topology,
+        params,
+        get_scheduler(scheduler_name),
+        BenchmarkSet.COMPUTATION,
+        load,
+    )
+
+
+class TestEngineBasics:
+    def test_jobs_complete(self, small_sut):
+        result = run_smoke(small_sut)
+        assert result.n_jobs_completed > 0
+        assert result.n_jobs_submitted >= result.n_jobs_completed
+
+    def test_runtime_expansion_at_least_one(self, small_sut):
+        result = run_smoke(small_sut)
+        assert result.mean_runtime_expansion >= 1.0 - 1e-9
+        for job in result.completed_jobs:
+            assert job.runtime_expansion >= 1.0 - 1e-9
+
+    def test_jobs_finish_after_start(self, small_sut):
+        result = run_smoke(small_sut)
+        for job in result.completed_jobs:
+            assert job.finish_s > job.start_s >= job.arrival_s
+
+    def test_deterministic_given_seed(self, small_sut):
+        a = run_smoke(small_sut, seed=3)
+        b = run_smoke(small_sut, seed=3)
+        assert a.mean_runtime_expansion == b.mean_runtime_expansion
+        assert a.energy_j == b.energy_j
+
+    def test_different_seed_different_workload(self, small_sut):
+        a = run_smoke(small_sut, seed=3)
+        b = run_smoke(small_sut, seed=4)
+        assert a.n_jobs_completed != b.n_jobs_completed
+
+    def test_energy_positive_and_bounded(self, small_sut):
+        result = run_smoke(small_sut)
+        assert result.energy_j > 0
+        max_power = small_sut.tdp_array.sum()
+        assert result.average_power_w < max_power
+
+    def test_utilization_tracks_load(self, small_sut):
+        low = run_smoke(small_sut, load=0.2)
+        high = run_smoke(small_sut, load=0.8)
+        assert low.utilization < high.utilization
+        assert 0.05 < low.utilization < 0.5
+        assert high.utilization > 0.4
+
+    def test_work_done_conservation(self, small_sut):
+        """Retired work equals the summed nominal durations of jobs."""
+        result = run_smoke(small_sut, load=0.3)
+        completed_work = sum(j.work_ms for j in result.completed_jobs)
+        # Work retired in-window >= work of in-window completions minus
+        # partial jobs at the window edges; allow generous tolerance.
+        assert result.work_done.sum() == pytest.approx(
+            completed_work, rel=0.25
+        )
+
+    def test_busy_time_below_span(self, small_sut):
+        result = run_smoke(small_sut)
+        assert (
+            result.busy_time_s <= result.measured_span_s + 1e-9
+        ).all()
+
+    def test_boost_time_below_busy_time(self, small_sut):
+        result = run_smoke(small_sut)
+        assert (result.boost_time_s <= result.busy_time_s + 1e-9).all()
+
+    def test_chip_temperatures_physical(self, small_sut):
+        result = run_smoke(small_sut, load=0.8)
+        assert result.max_chip_c.max() < 130.0
+        assert result.max_chip_c.max() > 18.0
+
+
+class TestThermalBehaviour:
+    def test_downstream_hotter_at_load(self, small_sut):
+        result = run_smoke(small_sut, load=0.8)
+        front = small_sut.front_half_mask()
+        assert (
+            result.max_chip_c[~front].mean()
+            > result.max_chip_c[front].mean()
+        )
+
+    def test_downstream_runs_slower(self, small_sut):
+        result = run_smoke(small_sut, load=0.8)
+        front = small_sut.front_half_mask()
+        assert result.average_relative_frequency(
+            front
+        ) > result.average_relative_frequency(~front)
+
+    def test_no_throttle_when_idle_system(self, small_sut):
+        result = run_smoke(small_sut, load=0.05, warm_start=False)
+        # Nearly idle system: every executed job runs at/near boost.
+        assert result.average_relative_frequency() > 0.95
+
+
+class TestSchedulerContract:
+    def test_engine_rejects_busy_placement(self, small_sut):
+        class BadScheduler:
+            name = "bad"
+
+            def reset(self, state, rng):
+                pass
+
+            def select_socket(self, job, idle_ids, state):
+                return 0  # always socket 0, even when busy
+
+        params = smoke()
+        arrivals = ArrivalProcess(
+            benchmark_set=BenchmarkSet.COMPUTATION,
+            load=0.9,
+            n_sockets=small_sut.n_sockets,
+            seed=0,
+            duration_scale=params.duration_scale,
+        )
+        jobs = arrivals.generate(params.sim_time_s)
+        sim = Simulation(small_sut, params, BadScheduler())
+        with pytest.raises(SimulationError):
+            sim.run(jobs)
+
+    def test_no_completions_raises(self, small_sut):
+        sim = Simulation(small_sut, smoke(), get_scheduler("CF"))
+        lone = [
+            Job(
+                job_id=0,
+                app=PCMARK_APPS[0],
+                arrival_s=2.9,
+                work_ms=1e9,
+            )
+        ]
+        with pytest.raises(SimulationError):
+            sim.run(lone)
+
+    def test_all_schedulers_run(self, small_sut):
+        from repro.core import all_scheduler_names
+
+        for name in all_scheduler_names():
+            result = run_smoke(small_sut, scheduler_name=name, load=0.4)
+            assert result.n_jobs_completed > 0, name
+
+
+class TestWarmStart:
+    def test_warm_start_prewarms_back_zones(self, small_sut):
+        params = smoke()
+        arrivals = ArrivalProcess(
+            benchmark_set=BenchmarkSet.COMPUTATION,
+            load=0.8,
+            n_sockets=small_sut.n_sockets,
+            seed=0,
+            duration_scale=params.duration_scale,
+        )
+        jobs = arrivals.generate(params.sim_time_s)
+        from repro.sim.state import SimulationState
+        from repro.sim.engine import _warm_start
+
+        state = SimulationState(small_sut, params)
+        _warm_start(state, sorted(jobs, key=lambda j: j.arrival_s))
+        front = small_sut.front_half_mask()
+        assert state.ambient_c[~front].mean() > state.ambient_c[
+            front
+        ].mean()
+        assert state.busy_ema.mean() > 0.3
+
+    def test_cold_start_runs_cooler_early(self, small_sut):
+        warm = run_smoke(small_sut, load=0.7, warm_start=True)
+        cold = run_smoke(small_sut, load=0.7, warm_start=False)
+        assert (
+            cold.max_chip_c.mean() <= warm.max_chip_c.mean() + 1e-9
+        )
+
+
+class TestTwoSocketSystems:
+    def test_coupled_system_simulates(self):
+        topo = two_socket_system(coupled=True)
+        result = run_smoke(topo, load=0.6)
+        assert result.n_jobs_completed > 0
+
+    def test_uncoupled_system_simulates(self):
+        topo = two_socket_system(coupled=False)
+        result = run_smoke(topo, load=0.6)
+        assert result.n_jobs_completed > 0

@@ -1,0 +1,131 @@
+"""Edge-case tests for the simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import get_scheduler
+from repro.server.topology import ServerTopology
+from repro.sim.engine import Simulation
+from repro.workloads.benchmark import BenchmarkSet
+from repro.workloads.job import Job
+from repro.workloads.pcmark import PCMARK_APPS
+
+
+def job(job_id, arrival_s, work_ms, app=PCMARK_APPS[0]):
+    return Job(
+        job_id=job_id, app=app, arrival_s=arrival_s, work_ms=work_ms
+    )
+
+
+def single_socket():
+    return ServerTopology(
+        n_rows=1,
+        lanes_per_row=1,
+        chain_length=1,
+        sockets_per_cartridge_depth=1,
+    )
+
+
+class TestSingleSocketServer:
+    def test_serial_execution(self):
+        topology = single_socket()
+        params = smoke().with_overrides(warm_start=False, warmup_s=0.0)
+        jobs = [job(i, 0.0, 100.0) for i in range(5)]
+        result = Simulation(
+            topology, params, get_scheduler("CF")
+        ).run(jobs)
+        assert result.n_jobs_completed == 5
+        # Jobs are serialised: starts strictly increase.
+        starts = sorted(j.start_s for j in result.completed_jobs)
+        assert all(b > a for a, b in zip(starts, starts[1:]))
+
+    def test_no_coupling_on_single_socket(self):
+        topology = single_socket()
+        assert topology.coupling.downwind_of(0).size == 0
+
+
+class TestArrivalEdges:
+    def test_simultaneous_arrivals(self, small_sut):
+        params = smoke().with_overrides(warm_start=False)
+        jobs = [job(i, 0.5, 50.0) for i in range(10)]
+        result = Simulation(
+            small_sut, params, get_scheduler("Random")
+        ).run(jobs)
+        assert result.n_jobs_completed == 10
+        sockets = {j.socket_id for j in result.completed_jobs}
+        assert len(sockets) == 10  # all placed on distinct sockets
+
+    def test_job_arriving_after_horizon_ignored(self, small_sut):
+        params = smoke().with_overrides(warm_start=False, warmup_s=0.0)
+        jobs = [job(0, 0.1, 20.0), job(1, 1e9, 20.0)]
+        result = Simulation(
+            small_sut, params, get_scheduler("CF")
+        ).run(jobs)
+        assert result.n_jobs_completed == 1
+
+    def test_job_longer_than_horizon_not_counted(self, small_sut):
+        params = smoke().with_overrides(warm_start=False, warmup_s=0.0)
+        jobs = [job(0, 0.1, 20.0), job(1, 0.1, 1e9)]
+        result = Simulation(
+            small_sut, params, get_scheduler("CF")
+        ).run(jobs)
+        completed_ids = {j.job_id for j in result.completed_jobs}
+        assert completed_ids == {0}
+
+    def test_unsorted_input_accepted(self, small_sut):
+        params = smoke().with_overrides(warm_start=False)
+        jobs = [job(0, 2.0, 20.0), job(1, 0.5, 20.0)]
+        result = Simulation(
+            small_sut, params, get_scheduler("CF")
+        ).run(jobs)
+        assert result.n_jobs_completed == 2
+
+
+class TestTimingAccuracy:
+    @staticmethod
+    def _params(**overrides):
+        base = dict(warm_start=False, warmup_s=0.0)
+        base.update(overrides)
+        return smoke().with_overrides(**base)
+
+    def test_sub_step_completion_interpolation(self, small_sut):
+        """A job of 7.5 ms at full speed finishes in ~7.5 ms of sim
+        time, not rounded to the 2 ms power-manager step."""
+        params = self._params()
+        jobs = [job(0, 0.1, 7.5)]
+        result = Simulation(
+            small_sut, params, get_scheduler("CF")
+        ).run(jobs)
+        done = result.completed_jobs[0]
+        service = done.finish_s - done.start_s
+        assert service == pytest.approx(0.0075, abs=0.0021)
+
+    def test_coarse_power_manager_still_correct(self, small_sut):
+        """A 5 ms power-manager period changes granularity, not
+        totals."""
+        fine = self._params()
+        coarse = self._params(power_manager_interval_s=0.005)
+        jobs_a = [job(i, 0.01 * i, 40.0) for i in range(30)]
+        jobs_b = [job(i, 0.01 * i, 40.0) for i in range(30)]
+        fast = Simulation(
+            small_sut, fine, get_scheduler("CF")
+        ).run(jobs_a)
+        slow = Simulation(
+            small_sut, coarse, get_scheduler("CF")
+        ).run(jobs_b)
+        assert slow.n_jobs_completed == fast.n_jobs_completed
+        assert slow.mean_runtime_expansion == pytest.approx(
+            fast.mean_runtime_expansion, rel=0.05
+        )
+
+    def test_work_conservation_per_job(self, small_sut):
+        """Service time x average rate equals the job's work."""
+        params = self._params()
+        jobs = [job(0, 0.1, 100.0)]
+        result = Simulation(
+            small_sut, params, get_scheduler("CF")
+        ).run(jobs)
+        done = result.completed_jobs[0]
+        # At most the worst-case ladder expansion for Computation.
+        assert 1.0 - 1e-6 <= done.runtime_expansion <= 1 / 0.65 + 0.05

@@ -1,0 +1,97 @@
+"""Tests for repro.sim.export."""
+
+import json
+
+import pytest
+
+from repro.config.presets import smoke
+from repro.errors import SimulationError
+from repro.sim.export import (
+    SUMMARY_FIELDS,
+    load_json,
+    result_summary,
+    save_csv,
+    save_json,
+    sweep_summaries,
+)
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_sweep
+from repro.workloads.benchmark import BenchmarkSet
+
+
+@pytest.fixture(scope="module")
+def sweep(request):
+    from repro.server.topology import moonshot_sut
+
+    return run_sweep(
+        moonshot_sut(n_rows=2),
+        smoke(),
+        scheduler_names=("CF", "CP"),
+        benchmark_sets=(BenchmarkSet.STORAGE,),
+        loads=(0.4,),
+    )
+
+
+class TestResultSummary:
+    def test_contains_all_fields(self, sweep):
+        result = sweep[("CF", BenchmarkSet.STORAGE, 0.4)]
+        summary = result_summary(result, BenchmarkSet.STORAGE, 0.4)
+        assert set(summary) == set(SUMMARY_FIELDS)
+
+    def test_values_consistent(self, sweep):
+        result = sweep[("CF", BenchmarkSet.STORAGE, 0.4)]
+        summary = result_summary(result, BenchmarkSet.STORAGE, 0.4)
+        assert summary["scheduler"] == "CF"
+        assert summary["benchmark_set"] == "Storage"
+        assert summary["load"] == 0.4
+        assert summary["performance"] == pytest.approx(
+            result.performance
+        )
+        assert 0.0 <= summary["boost_share"] <= 1.0
+
+    def test_empty_result_rejected(self, sweep):
+        result = sweep[("CF", BenchmarkSet.STORAGE, 0.4)]
+        empty = SimulationResult(
+            scheduler_name="x",
+            params=result.params,
+            topology=result.topology,
+        )
+        with pytest.raises(SimulationError):
+            result_summary(empty)
+
+
+class TestSweepSummaries:
+    def test_one_row_per_run(self, sweep):
+        rows = sweep_summaries(sweep)
+        assert len(rows) == len(sweep)
+        assert {row["scheduler"] for row in rows} == {"CF", "CP"}
+
+
+class TestRoundTrips:
+    def test_json_roundtrip(self, sweep, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        save_json(sweep, path)
+        rows = load_json(path)
+        assert len(rows) == len(sweep)
+        assert rows[0]["benchmark_set"] == "Storage"
+
+    def test_json_is_valid(self, sweep, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        save_json(sweep, path)
+        with open(path) as handle:
+            json.load(handle)
+
+    def test_csv_header_and_rows(self, sweep, tmp_path):
+        path = str(tmp_path / "sweep.csv")
+        save_csv(sweep, path)
+        with open(path) as handle:
+            lines = handle.read().strip().splitlines()
+        assert lines[0].split(",") == list(SUMMARY_FIELDS)
+        assert len(lines) == 1 + len(sweep)
+
+    def test_load_json_rejects_non_list(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            json.dump({"not": "a list"}, handle)
+        with pytest.raises(SimulationError):
+            load_json(path)

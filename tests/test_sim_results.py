@@ -1,0 +1,124 @@
+"""Unit tests for repro.sim.results."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import smoke
+from repro.errors import SimulationError
+from repro.server.topology import moonshot_sut
+from repro.sim.results import SimulationResult
+from repro.workloads.job import Job
+from repro.workloads.pcmark import PCMARK_APPS
+
+
+@pytest.fixture
+def result():
+    topology = moonshot_sut(n_rows=1)
+    return SimulationResult(
+        scheduler_name="test",
+        params=smoke(),
+        topology=topology,
+        measured_span_s=10.0,
+    )
+
+
+def completed_job(job_id, work_ms, expansion):
+    job = Job(
+        job_id=job_id,
+        app=PCMARK_APPS[0],
+        arrival_s=0.0,
+        work_ms=work_ms,
+    )
+    job.start_s = 1.0
+    job.finish_s = 1.0 + (work_ms / 1000.0) * expansion
+    return job
+
+
+class TestDerivedMetrics:
+    def test_mean_runtime_expansion(self, result):
+        result.completed_jobs = [
+            completed_job(0, 10.0, 1.0),
+            completed_job(1, 10.0, 1.5),
+        ]
+        assert result.mean_runtime_expansion == pytest.approx(1.25)
+
+    def test_performance_is_inverse(self, result):
+        result.completed_jobs = [completed_job(0, 10.0, 1.25)]
+        assert result.performance == pytest.approx(1 / 1.25)
+
+    def test_mean_response_time(self, result):
+        result.completed_jobs = [completed_job(0, 10.0, 2.0)]
+        assert result.mean_response_time_s == pytest.approx(1.020)
+
+    def test_average_power(self, result):
+        result.energy_j = 500.0
+        assert result.average_power_w == pytest.approx(50.0)
+
+    def test_utilization(self, result):
+        result.busy_time_s = np.full(result.topology.n_sockets, 5.0)
+        assert result.utilization == pytest.approx(0.5)
+
+    def test_ed2(self, result):
+        result.completed_jobs = [completed_job(0, 10.0, 2.0)]
+        result.energy_j = 100.0
+        assert result.ed2_j_s2 == pytest.approx(400.0)
+
+    def test_counts(self, result):
+        result.completed_jobs = [completed_job(0, 10.0, 1.0)]
+        result.n_jobs_submitted = 5
+        assert result.n_jobs_completed == 1
+        assert result.n_jobs_submitted == 5
+
+
+class TestMaskedMetrics:
+    def test_average_relative_frequency(self, result):
+        n = result.topology.n_sockets
+        result.busy_time_s = np.full(n, 2.0)
+        result.freq_time_product = np.full(n, 1.6)  # 0.8 relative
+        assert result.average_relative_frequency() == pytest.approx(0.8)
+
+    def test_masked_frequency(self, result):
+        n = result.topology.n_sockets
+        result.busy_time_s = np.full(n, 1.0)
+        result.freq_time_product = np.linspace(0.5, 1.0, n)
+        mask = np.zeros(n, dtype=bool)
+        mask[0] = True
+        assert result.average_relative_frequency(mask) == pytest.approx(
+            0.5
+        )
+
+    def test_never_busy_mask_gives_nan(self, result):
+        mask = np.ones(result.topology.n_sockets, dtype=bool)
+        assert np.isnan(result.average_relative_frequency(mask))
+
+    def test_work_fraction(self, result):
+        n = result.topology.n_sockets
+        result.work_done = np.ones(n)
+        mask = np.zeros(n, dtype=bool)
+        mask[: n // 2] = True
+        assert result.work_fraction(mask) == pytest.approx(0.5)
+
+
+class TestGuards:
+    def test_empty_jobs_raise(self, result):
+        with pytest.raises(SimulationError):
+            _ = result.mean_runtime_expansion
+        with pytest.raises(SimulationError):
+            _ = result.mean_response_time_s
+
+    def test_zero_span_raises(self):
+        topology = moonshot_sut(n_rows=1)
+        bare = SimulationResult(
+            scheduler_name="x", params=smoke(), topology=topology
+        )
+        with pytest.raises(SimulationError):
+            _ = bare.average_power_w
+        with pytest.raises(SimulationError):
+            _ = bare.utilization
+
+    def test_arrays_default_allocated(self, result):
+        n = result.topology.n_sockets
+        assert result.work_done.shape == (n,)
+        assert result.busy_time_s.shape == (n,)
+        assert result.boost_time_s.shape == (n,)
+        assert np.isneginf(result.max_chip_c).all()

@@ -1,0 +1,85 @@
+"""Tests for repro.sim.state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.state import SimulationState
+from repro.workloads.job import Job
+from repro.workloads.pcmark import PCMARK_APPS
+
+
+@pytest.fixture
+def state(small_sut, smoke_params):
+    return SimulationState(small_sut, smoke_params)
+
+
+def make_job(job_id=0):
+    return Job(
+        job_id=job_id, app=PCMARK_APPS[0], arrival_s=0.0, work_ms=5.0
+    )
+
+
+class TestInitialState:
+    def test_everything_idle(self, state):
+        assert not state.busy.any()
+        assert state.idle_socket_ids().size == state.n_sockets
+
+    def test_thermal_field_at_inlet(self, state):
+        np.testing.assert_allclose(state.chip_c, 18.0)
+        np.testing.assert_allclose(state.ambient_c, 18.0)
+
+    def test_power_starts_gated(self, state):
+        np.testing.assert_allclose(
+            state.power_w, state.topology.gated_power_array
+        )
+
+    def test_ladder_from_topology(self, state):
+        assert state.ladder.max_mhz == 1900
+
+
+class TestAssignRelease:
+    def test_assign_marks_busy(self, state):
+        job = make_job()
+        state.assign(job, 3)
+        assert state.busy[3]
+        assert state.idle_socket_ids().size == state.n_sockets - 1
+        assert 3 not in state.idle_socket_ids()
+
+    def test_assign_records_job_metadata(self, state):
+        state.time_s = 1.5
+        job = make_job()
+        state.assign(job, 0)
+        assert job.socket_id == 0
+        assert job.start_s == 1.5
+        assert state.running_jobs[0] is job
+
+    def test_assign_sets_power_parameters(self, state):
+        job = make_job()
+        state.assign(job, 0)
+        expected_dyn = job.app.power_at_max_w - 0.3 * 22.0
+        assert state.dyn_max_w[0] == pytest.approx(expected_dyn)
+        assert state.perf_drop[0] == pytest.approx(0.35)
+        assert state.remaining_work_ms[0] == pytest.approx(5.0)
+
+    def test_double_assign_rejected(self, state):
+        state.assign(make_job(0), 0)
+        with pytest.raises(SimulationError):
+            state.assign(make_job(1), 0)
+
+    def test_out_of_range_socket_rejected(self, state):
+        with pytest.raises(SimulationError):
+            state.assign(make_job(), 999)
+
+    def test_release_returns_job_and_clears(self, state):
+        job = make_job()
+        state.assign(job, 5)
+        released = state.release(5)
+        assert released is job
+        assert not state.busy[5]
+        assert state.dyn_max_w[5] == 0.0
+        assert state.running_jobs[5] is None
+
+    def test_release_idle_socket_rejected(self, state):
+        with pytest.raises(SimulationError):
+            state.release(0)

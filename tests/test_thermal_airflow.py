@@ -1,0 +1,88 @@
+"""Tests for repro.thermal.airflow (Table II and the fan model)."""
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.airflow import (
+    FanModel,
+    airflow_table,
+    fans_for_server,
+    server_airflow_requirement,
+)
+
+
+class TestTableII:
+    EXPECTED = {
+        "1U": 18.30,
+        "2U": 12.94,
+        "Other": 10.03,
+        "Blade": 37.05,
+        "DensityOpt": 51.74,
+    }
+
+    def test_all_rows_match_paper(self):
+        for name, power, cfm in airflow_table():
+            assert cfm == pytest.approx(self.EXPECTED[name], abs=0.01)
+
+    def test_covers_all_five_classes(self):
+        names = [row[0] for row in airflow_table()]
+        assert sorted(names) == sorted(self.EXPECTED)
+
+    def test_tighter_budget_needs_more_airflow(self):
+        relaxed = server_airflow_requirement(208.0, 25.0)
+        tight = server_airflow_requirement(208.0, 15.0)
+        assert tight > relaxed
+
+
+class TestFanModel:
+    def test_flow_linear_in_speed(self):
+        fan = FanModel(max_cfm=100.0, max_power_w=30.0)
+        assert fan.flow_at(0.5) == pytest.approx(50.0)
+
+    def test_power_cubic_in_speed(self):
+        fan = FanModel(max_cfm=100.0, max_power_w=40.0)
+        assert fan.power_at(0.5) == pytest.approx(5.0)
+
+    def test_speed_for_flow_roundtrip(self):
+        fan = FanModel()
+        speed = fan.speed_for_flow(60.0)
+        assert fan.flow_at(speed) == pytest.approx(60.0)
+
+    def test_over_capacity_rejected(self):
+        fan = FanModel(max_cfm=80.0)
+        with pytest.raises(ThermalModelError):
+            fan.speed_for_flow(81.0)
+
+    def test_speed_out_of_range_rejected(self):
+        fan = FanModel()
+        with pytest.raises(ThermalModelError):
+            fan.flow_at(1.5)
+        with pytest.raises(ThermalModelError):
+            fan.power_at(-0.1)
+
+    def test_invalid_fan_rejected(self):
+        with pytest.raises(ThermalModelError):
+            FanModel(max_cfm=0.0)
+        with pytest.raises(ThermalModelError):
+            FanModel(max_power_w=-1.0)
+
+
+class TestFansForServer:
+    def test_sut_needs_multiple_fans(self):
+        # 400 CFM server with 100 CFM fans at 80% utilisation -> 5 fans.
+        assert fans_for_server(400.0, FanModel(max_cfm=100.0)) == 5
+
+    def test_zero_flow_still_one_fan(self):
+        assert fans_for_server(0.0, FanModel()) == 1
+
+    def test_exact_fit(self):
+        fan = FanModel(max_cfm=100.0)
+        assert fans_for_server(160.0, fan, utilization=0.8) == 2
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(ThermalModelError):
+            fans_for_server(100.0, FanModel(), utilization=0.0)
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ThermalModelError):
+            fans_for_server(-1.0, FanModel())

@@ -1,0 +1,108 @@
+"""Tests for repro.thermal.analytical (the Figure 5 model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.analytical import (
+    EntryTemperatureModel,
+    entry_temperature_profile,
+    entry_temperature_statistics,
+)
+
+
+class TestEntryTemperatureProfile:
+    def test_upstream_socket_sees_inlet(self):
+        profile = entry_temperature_profile(5, 15.0, 6.0)
+        assert profile[0] == pytest.approx(18.0)
+
+    def test_linear_staircase(self):
+        profile = entry_temperature_profile(3, 10.0, 5.0, inlet_c=20.0)
+        rises = np.diff(profile)
+        np.testing.assert_allclose(rises, rises[0])
+        assert rises[0] == pytest.approx(1.76 * 10.0 / 5.0)
+
+    def test_length_is_degree_plus_one(self):
+        assert entry_temperature_profile(7, 10.0, 6.0).size == 8
+
+    def test_degree_zero_single_socket(self):
+        profile = entry_temperature_profile(0, 100.0, 6.0)
+        assert profile.size == 1
+        assert profile[0] == pytest.approx(18.0)
+
+    def test_mixing_factor_scales_rise(self):
+        base = entry_temperature_profile(2, 10.0, 6.0)
+        mixed = entry_temperature_profile(2, 10.0, 6.0, mixing_factor=2.0)
+        assert (mixed[1] - 18.0) == pytest.approx(2 * (base[1] - 18.0))
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ThermalModelError):
+            entry_temperature_profile(-1, 10.0, 6.0)
+
+    def test_zero_airflow_rejected(self):
+        with pytest.raises(ThermalModelError):
+            entry_temperature_profile(2, 10.0, 0.0)
+
+
+class TestEntryTemperatureStatistics:
+    def test_mean_rises_with_degree(self):
+        means = [
+            entry_temperature_statistics(d, 15.0, 6.0).mean_c
+            for d in (1, 3, 5, 11)
+        ]
+        assert means == sorted(means)
+        assert means[0] < means[-1]
+
+    def test_cov_rises_with_degree(self):
+        covs = [
+            entry_temperature_statistics(d, 15.0, 6.0).cov
+            for d in (1, 3, 5, 11)
+        ]
+        assert covs == sorted(covs)
+
+    def test_paper_example_degree5_vs_degree1(self):
+        """15 W at 6 CFM: ~10 degC mean difference, degree 5 vs 1."""
+        d5 = entry_temperature_statistics(5, 15.0, 6.0).mean_c
+        d1 = entry_temperature_statistics(1, 15.0, 6.0).mean_c
+        assert d5 - d1 == pytest.approx(8.8, abs=1.0)
+
+    def test_higher_power_higher_mean(self):
+        low = entry_temperature_statistics(5, 5.0, 6.0).mean_c
+        high = entry_temperature_statistics(5, 140.0, 6.0).mean_c
+        assert high > low
+
+    def test_more_airflow_lower_mean(self):
+        starved = entry_temperature_statistics(5, 15.0, 6.0).mean_c
+        generous = entry_temperature_statistics(5, 15.0, 24.0).mean_c
+        assert generous < starved
+
+    def test_max_is_most_downstream(self):
+        stats = entry_temperature_statistics(5, 15.0, 6.0)
+        profile = entry_temperature_profile(5, 15.0, 6.0)
+        assert stats.max_c == pytest.approx(profile[-1])
+
+    def test_mean_rise_excludes_inlet(self):
+        stats = entry_temperature_statistics(4, 10.0, 6.0)
+        assert stats.mean_rise_c == pytest.approx(stats.mean_c - 18.0)
+
+
+class TestSweep:
+    def test_sweep_covers_full_grid(self):
+        model = EntryTemperatureModel()
+        rows = model.sweep([1, 5], [15.0], [6.0, 12.0])
+        assert len(rows) == 4
+        keys = {(r["degree"], r["airflow_cfm"]) for r in rows}
+        assert keys == {(1, 6.0), (1, 12.0), (5, 6.0), (5, 12.0)}
+
+    def test_sweep_row_fields(self):
+        rows = EntryTemperatureModel().sweep([3], [10.0], [6.0])
+        row = rows[0]
+        for field in (
+            "degree",
+            "power_w",
+            "airflow_cfm",
+            "mean_entry_c",
+            "cov",
+            "max_entry_c",
+        ):
+            assert field in row

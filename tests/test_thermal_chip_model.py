@@ -1,0 +1,99 @@
+"""Tests for repro.thermal.chip_model (Equation 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.chip_model import (
+    DEFAULT_R_INT,
+    SimplifiedChipModel,
+    peak_temperature,
+)
+from repro.thermal.heatsink import FIN_18, FIN_30
+
+
+class TestEquation1:
+    def test_zero_power_gives_ambient_plus_theta_offset(self):
+        t = peak_temperature(20.0, 0.0, FIN_18)
+        assert t == pytest.approx(20.0 + FIN_18.theta_offset)
+
+    def test_hand_computed_value_18_fin(self):
+        # 30 + 15*(0.205+1.578) + (4.41 - 0.0896*15)
+        expected = 30.0 + 15.0 * 1.783 + (4.41 - 0.0896 * 15.0)
+        assert peak_temperature(30.0, 15.0, FIN_18) == pytest.approx(
+            expected
+        )
+
+    def test_monotone_in_power(self):
+        temps = [
+            peak_temperature(25.0, p, FIN_30) for p in (5.0, 10.0, 20.0)
+        ]
+        assert temps == sorted(temps)
+
+    def test_monotone_in_ambient(self):
+        assert peak_temperature(40.0, 10.0, FIN_18) > peak_temperature(
+            20.0, 10.0, FIN_18
+        )
+
+    def test_30_fin_cooler_at_same_power(self):
+        assert peak_temperature(25.0, 15.0, FIN_30) < peak_temperature(
+            25.0, 15.0, FIN_18
+        )
+
+    def test_sink_advantage_grows_with_power(self):
+        def advantage(p):
+            return peak_temperature(25.0, p, FIN_18) - peak_temperature(
+                25.0, p, FIN_30
+            )
+
+        assert advantage(15.0) > advantage(5.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ThermalModelError):
+            peak_temperature(25.0, -1.0, FIN_18)
+
+    def test_bad_r_int_rejected(self):
+        with pytest.raises(ThermalModelError):
+            peak_temperature(25.0, 10.0, FIN_18, r_int=0.0)
+
+
+class TestSimplifiedChipModel:
+    def test_matches_function(self):
+        model = SimplifiedChipModel(FIN_18)
+        assert model.peak_temperature(22.0, 12.0) == pytest.approx(
+            peak_temperature(22.0, 12.0, FIN_18)
+        )
+
+    def test_r_total(self):
+        model = SimplifiedChipModel(FIN_30)
+        assert model.r_total == pytest.approx(DEFAULT_R_INT + 1.056)
+
+    def test_array_matches_scalar(self):
+        model = SimplifiedChipModel(FIN_18)
+        ambients = np.array([18.0, 30.0, 55.0])
+        powers = np.array([5.0, 12.0, 20.0])
+        vector = model.peak_temperature_array(ambients, powers)
+        for i in range(3):
+            assert vector[i] == pytest.approx(
+                model.peak_temperature(ambients[i], powers[i])
+            )
+
+    def test_max_power_inverts_equation(self):
+        model = SimplifiedChipModel(FIN_18)
+        power = model.max_power_for_limit(40.0, 95.0)
+        assert model.peak_temperature(40.0, power) == pytest.approx(95.0)
+
+    def test_max_power_clamped_at_zero(self):
+        model = SimplifiedChipModel(FIN_18)
+        assert model.max_power_for_limit(200.0, 95.0) == 0.0
+
+    def test_ambient_for_limit_inverts_equation(self):
+        model = SimplifiedChipModel(FIN_30)
+        ambient = model.ambient_for_limit(15.0, 95.0)
+        assert model.peak_temperature(ambient, 15.0) == pytest.approx(
+            95.0
+        )
+
+    def test_invalid_r_int_rejected(self):
+        with pytest.raises(ThermalModelError):
+            SimplifiedChipModel(FIN_18, r_int=-0.1)

@@ -1,0 +1,147 @@
+"""Tests for repro.thermal.coupling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.coupling import (
+    CARTRIDGE_MIXING_FACTOR,
+    CouplingChain,
+    CouplingMatrix,
+)
+
+
+def chain(n=4, cfm=6.35, mix=1.0, decays=()):
+    return CouplingChain(
+        socket_ids=list(range(n)),
+        airflow_cfm=cfm,
+        mixing_factor=mix,
+        gap_decays=decays,
+    )
+
+
+class TestCouplingChain:
+    def test_degree_of_coupling(self):
+        assert chain(6).degree_of_coupling == 5
+
+    def test_weights_lower_triangular(self):
+        w = chain(5).weights()
+        assert np.allclose(w, np.tril(w, k=-1))
+
+    def test_single_socket_has_no_coupling(self):
+        w = chain(1).weights()
+        assert w.shape == (1, 1)
+        assert w[0, 0] == 0.0
+
+    def test_weight_magnitude_first_law(self):
+        w = chain(2, cfm=6.35, mix=1.0).weights()
+        assert w[1, 0] == pytest.approx(1.76 / 6.35)
+
+    def test_cartridge_calibration_reproduces_cfd_anecdote(self):
+        """15 W upstream socket heats downstream air by ~8 degC."""
+        w = chain(2, cfm=6.35, mix=CARTRIDGE_MIXING_FACTOR).weights()
+        assert w[1, 0] * 15.0 == pytest.approx(8.0, abs=0.15)
+
+    def test_gap_decays_attenuate_far_coupling(self):
+        decayed = chain(3, decays=(1.0, 0.5, 0.5)).weights()
+        flat = chain(3).weights()
+        # Immediate neighbour attenuated once, two-away twice.
+        assert decayed[1, 0] == pytest.approx(0.5 * flat[1, 0])
+        assert decayed[2, 0] == pytest.approx(0.25 * flat[2, 0])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ThermalModelError):
+            CouplingChain(socket_ids=[], airflow_cfm=6.0)
+
+    def test_bad_airflow_rejected(self):
+        with pytest.raises(ThermalModelError):
+            chain(cfm=0.0)
+
+    def test_wrong_decay_length_rejected(self):
+        with pytest.raises(ThermalModelError):
+            chain(3, decays=(1.0, 0.9))
+
+    def test_first_decay_must_be_one(self):
+        with pytest.raises(ThermalModelError):
+            chain(3, decays=(0.9, 0.9, 0.9))
+
+    def test_decay_out_of_range_rejected(self):
+        with pytest.raises(ThermalModelError):
+            chain(3, decays=(1.0, 1.2, 0.9))
+
+
+class TestCouplingMatrix:
+    def test_entry_temperatures_uni_directional(self):
+        matrix = CouplingMatrix(3, [chain(3, mix=1.0)])
+        heat = np.array([10.0, 0.0, 0.0])
+        temps = matrix.entry_temperatures(18.0, heat)
+        rise = 1.76 * 10.0 / 6.35
+        assert temps[0] == pytest.approx(18.0)
+        assert temps[1] == pytest.approx(18.0 + rise)
+        assert temps[2] == pytest.approx(18.0 + rise)
+
+    def test_downstream_heat_does_not_affect_upstream(self):
+        matrix = CouplingMatrix(3, [chain(3)])
+        temps = matrix.entry_temperatures(
+            18.0, np.array([0.0, 0.0, 50.0])
+        )
+        assert temps[0] == pytest.approx(18.0)
+        assert temps[1] == pytest.approx(18.0)
+
+    def test_superposition(self):
+        matrix = CouplingMatrix(4, [chain(4)])
+        a = matrix.entry_temperatures(0.0, np.array([5.0, 0, 0, 0]))
+        b = matrix.entry_temperatures(0.0, np.array([0, 7.0, 0, 0]))
+        both = matrix.entry_temperatures(
+            0.0, np.array([5.0, 7.0, 0, 0])
+        )
+        np.testing.assert_allclose(both, a + b)
+
+    def test_independent_lanes_do_not_couple(self):
+        lanes = [
+            CouplingChain(socket_ids=[0, 1], airflow_cfm=6.0),
+            CouplingChain(socket_ids=[2, 3], airflow_cfm=6.0),
+        ]
+        matrix = CouplingMatrix(4, lanes)
+        temps = matrix.entry_temperatures(
+            18.0, np.array([100.0, 0.0, 0.0, 0.0])
+        )
+        assert temps[2] == pytest.approx(18.0)
+        assert temps[3] == pytest.approx(18.0)
+
+    def test_downwind_of(self):
+        matrix = CouplingMatrix(3, [chain(3)])
+        np.testing.assert_array_equal(matrix.downwind_of(0), [1, 2])
+        np.testing.assert_array_equal(matrix.downwind_of(2), [])
+
+    def test_total_influence_decreases_downstream(self):
+        matrix = CouplingMatrix(4, [chain(4)])
+        influence = [matrix.total_influence(i) for i in range(4)]
+        assert influence == sorted(influence, reverse=True)
+        assert influence[-1] == 0.0
+
+    def test_duplicate_socket_rejected(self):
+        with pytest.raises(ThermalModelError):
+            CouplingMatrix(
+                3,
+                [
+                    CouplingChain(socket_ids=[0, 1], airflow_cfm=6.0),
+                    CouplingChain(socket_ids=[1, 2], airflow_cfm=6.0),
+                ],
+            )
+
+    def test_out_of_range_socket_rejected(self):
+        with pytest.raises(ThermalModelError):
+            CouplingMatrix(
+                2, [CouplingChain(socket_ids=[0, 5], airflow_cfm=6.0)]
+            )
+
+    def test_wrong_heat_shape_rejected(self):
+        matrix = CouplingMatrix(3, [chain(3)])
+        with pytest.raises(ThermalModelError):
+            matrix.entry_temperatures(18.0, np.zeros(4))
+
+    def test_matrix_view_read_only(self):
+        matrix = CouplingMatrix(3, [chain(3)])
+        with pytest.raises(ValueError):
+            matrix.matrix[0, 0] = 1.0

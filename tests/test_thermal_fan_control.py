@@ -1,0 +1,108 @@
+"""Tests for the dynamic fan-control extension."""
+
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import get_scheduler
+from repro.errors import ThermalModelError
+from repro.sim.engine import Simulation
+from repro.thermal.fan_control import FanController
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.benchmark import BenchmarkSet
+
+
+class TestFanController:
+    def test_scale_proportional_to_heat(self):
+        controller = FanController()
+        low = controller.airflow_scale(500.0)
+        high = controller.airflow_scale(3000.0)
+        assert high > low
+
+    def test_design_point(self):
+        """Heat matching the Table II budget needs scale ~1."""
+        controller = FanController(
+            design_total_cfm=400.0, outlet_budget_c=20.0
+        )
+        # 400 CFM removes 400 * 20 / 1.76 ~= 4545 W at 20 degC rise.
+        scale = controller.airflow_scale(4545.0)
+        assert scale == pytest.approx(1.0, abs=0.01)
+
+    def test_clamped_to_range(self):
+        controller = FanController(min_scale=0.4, max_scale=1.25)
+        assert controller.airflow_scale(0.0) == 0.4
+        assert controller.airflow_scale(1e6) == 1.25
+
+    def test_fan_power_cubic(self):
+        controller = FanController()
+        half = controller.fan_power_w(0.5)
+        full = controller.fan_power_w(1.0)
+        assert full == pytest.approx(8 * half, rel=0.01)
+
+    def test_outlet_rise_inverse_in_scale(self):
+        controller = FanController()
+        tight = controller.outlet_rise_c(2000.0, 1.0)
+        loose = controller.outlet_rise_c(2000.0, 0.5)
+        assert loose == pytest.approx(2 * tight)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ThermalModelError):
+            FanController(design_total_cfm=0.0)
+        with pytest.raises(ThermalModelError):
+            FanController(min_scale=0.0)
+        with pytest.raises(ThermalModelError):
+            FanController(min_scale=1.5, max_scale=1.0)
+        with pytest.raises(ThermalModelError):
+            FanController(outlet_budget_c=0.0)
+
+    def test_negative_heat_rejected(self):
+        with pytest.raises(ThermalModelError):
+            FanController().airflow_scale(-1.0)
+
+
+class TestEngineIntegration:
+    def _run(self, topology, controller, load=0.6):
+        params = smoke()
+        arrivals = ArrivalProcess(
+            benchmark_set=BenchmarkSet.COMPUTATION,
+            load=load,
+            n_sockets=topology.n_sockets,
+            seed=0,
+            duration_scale=params.duration_scale,
+        )
+        jobs = arrivals.generate(params.sim_time_s)
+        sim = Simulation(
+            topology,
+            params,
+            get_scheduler("CF"),
+            fan_controller=controller,
+        )
+        return sim.run(jobs)
+
+    def test_cooling_energy_recorded(self, small_sut):
+        result = self._run(small_sut, FanController())
+        assert result.cooling_energy_j > 0
+        assert result.total_energy_j > result.energy_j
+
+    def test_no_controller_no_cooling_energy(self, small_sut):
+        result = self._run(small_sut, None)
+        assert result.cooling_energy_j == 0.0
+        assert result.mean_airflow_scale == 1.0
+
+    def test_reduced_airflow_runs_hotter(self, small_sut):
+        """A small server at scaled-down airflow couples harder."""
+        starved = FanController(
+            design_total_cfm=2000.0, min_scale=0.4, max_scale=0.4
+        )
+        nominal = self._run(small_sut, None)
+        hot = self._run(small_sut, starved)
+        assert hot.max_chip_c.max() > nominal.max_chip_c.max()
+        assert hot.mean_airflow_scale == pytest.approx(0.4)
+
+    def test_low_load_saves_fan_power(self, small_sut):
+        controller = FanController(
+            design_total_cfm=small_sut.total_airflow_cfm()
+        )
+        light = self._run(small_sut, controller, load=0.1)
+        heavy = self._run(small_sut, controller, load=0.9)
+        assert light.cooling_energy_j < heavy.cooling_energy_j
+        assert light.mean_airflow_scale < heavy.mean_airflow_scale

@@ -1,0 +1,63 @@
+"""Tests for repro.thermal.heatsink."""
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.heatsink import FIN_18, FIN_30, HeatSink, sink_for_zone
+
+
+class TestTableIIIValues:
+    def test_18_fin_external_resistance(self):
+        assert FIN_18.r_ext == pytest.approx(1.578)
+
+    def test_30_fin_external_resistance(self):
+        assert FIN_30.r_ext == pytest.approx(1.056)
+
+    def test_30_fin_is_better(self):
+        assert FIN_30.r_ext < FIN_18.r_ext
+
+    def test_theta_18_fin_at_10_watts(self):
+        # 4.41 - 0.0896 * 10
+        assert FIN_18.theta(10.0) == pytest.approx(3.514)
+
+    def test_theta_30_fin_at_10_watts(self):
+        # 4.45 - 0.0916 * 10
+        assert FIN_30.theta(10.0) == pytest.approx(3.534)
+
+    def test_theta_decreases_with_power(self):
+        for sink in (FIN_18, FIN_30):
+            assert sink.theta(20.0) < sink.theta(5.0)
+
+
+class TestValidation:
+    def test_negative_power_rejected(self):
+        with pytest.raises(ThermalModelError):
+            FIN_18.theta(-1.0)
+
+    def test_zero_fin_count_rejected(self):
+        with pytest.raises(ThermalModelError):
+            HeatSink("bad", 0, 1.0, 0.0, 0.0)
+
+    def test_non_positive_resistance_rejected(self):
+        with pytest.raises(ThermalModelError):
+            HeatSink("bad", 10, 0.0, 0.0, 0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            FIN_18.r_ext = 2.0
+
+
+class TestSinkForZone:
+    def test_odd_zones_get_18_fin(self):
+        assert sink_for_zone(1) is FIN_18
+        assert sink_for_zone(3) is FIN_18
+        assert sink_for_zone(5) is FIN_18
+
+    def test_even_zones_get_30_fin(self):
+        assert sink_for_zone(2) is FIN_30
+        assert sink_for_zone(4) is FIN_30
+        assert sink_for_zone(6) is FIN_30
+
+    def test_zone_zero_rejected(self):
+        with pytest.raises(ThermalModelError):
+            sink_for_zone(0)

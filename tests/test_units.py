@@ -1,0 +1,97 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.errors import ThermalModelError
+
+
+class TestAirflowForPower:
+    def test_table_ii_1u_value(self):
+        assert units.airflow_for_power(208.0, 20.0) == pytest.approx(
+            18.30, abs=0.01
+        )
+
+    def test_table_ii_density_optimized_value(self):
+        assert units.airflow_for_power(588.0, 20.0) == pytest.approx(
+            51.74, abs=0.01
+        )
+
+    def test_zero_power_needs_no_airflow(self):
+        assert units.airflow_for_power(0.0, 20.0) == 0.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ThermalModelError):
+            units.airflow_for_power(-1.0, 20.0)
+
+    def test_zero_delta_t_rejected(self):
+        with pytest.raises(ThermalModelError):
+            units.airflow_for_power(100.0, 0.0)
+
+    def test_scales_linearly_with_power(self):
+        one = units.airflow_for_power(100.0, 20.0)
+        two = units.airflow_for_power(200.0, 20.0)
+        assert two == pytest.approx(2 * one)
+
+
+class TestAirTemperatureRise:
+    def test_inverse_of_airflow_for_power(self):
+        cfm = units.airflow_for_power(150.0, 20.0)
+        assert units.air_temperature_rise(150.0, cfm) == pytest.approx(
+            20.0
+        )
+
+    def test_cfd_anecdote_scale(self):
+        # A 15 W socket at 6.35 CFM heats well-mixed air ~4.2 degC.
+        rise = units.air_temperature_rise(15.0, 6.35)
+        assert rise == pytest.approx(4.16, abs=0.05)
+
+    def test_zero_airflow_rejected(self):
+        with pytest.raises(ThermalModelError):
+            units.air_temperature_rise(10.0, 0.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ThermalModelError):
+            units.air_temperature_rise(-5.0, 10.0)
+
+
+class TestConversions:
+    def test_cfm_roundtrip(self):
+        assert units.m3s_to_cfm(units.cfm_to_m3s(123.0)) == pytest.approx(
+            123.0
+        )
+
+    def test_one_cfm_in_si(self):
+        assert units.cfm_to_m3s(1.0) == pytest.approx(4.719e-4, rel=1e-3)
+
+    def test_celsius_kelvin_roundtrip(self):
+        assert units.kelvin_to_celsius(
+            units.celsius_to_kelvin(36.6)
+        ) == pytest.approx(36.6)
+
+    def test_mhz_to_ghz(self):
+        assert units.mhz_to_ghz(1900) == pytest.approx(1.9)
+
+
+class TestDensities:
+    def test_watts_per_u(self):
+        assert units.watts_per_u(400.0, 4.0) == pytest.approx(100.0)
+
+    def test_sockets_per_u_moonshot(self):
+        assert units.sockets_per_u(180, 4.0) == pytest.approx(45.0)
+
+    def test_zero_height_rejected(self):
+        with pytest.raises(ThermalModelError):
+            units.watts_per_u(100.0, 0.0)
+        with pytest.raises(ThermalModelError):
+            units.sockets_per_u(10, 0.0)
+
+    def test_heating_constant_from_air_properties(self):
+        # 1 / (rho * cp) converted to CFM * degC / W should be ~1.76.
+        si = 1.0 / (units.AIR_DENSITY * units.AIR_SPECIFIC_HEAT)
+        cfm_constant = si / units.CFM_TO_M3S
+        assert cfm_constant == pytest.approx(
+            units.AIR_HEATING_CONSTANT, rel=0.01
+        )

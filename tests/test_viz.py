@@ -1,0 +1,95 @@
+"""Tests for the terminal visualisation helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_min_max_levels(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(line) == sorted(line, key="▁▂▃▄▅▆▇█".index)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            sparkline([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ReproError):
+            sparkline([1.0, float("nan")])
+
+
+class TestBarChart:
+    def test_one_row_per_label(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0])
+        assert len(chart.splitlines()) == 2
+
+    def test_longest_bar_for_peak(self):
+        chart = bar_chart(["a", "b"], [1.0, 4.0], width=8)
+        rows = chart.splitlines()
+        assert rows[1].count("█") == 8
+        assert rows[0].count("█") == 2
+
+    def test_unit_suffix(self):
+        chart = bar_chart(["x"], [3.0], unit="W")
+        assert "3W" in chart
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart([], [])
+
+
+class TestLineChart:
+    def test_height_and_legend(self):
+        chart = line_chart({"temp": [1, 2, 3]}, height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 6  # height + legend
+        assert "t=temp" in lines[-1]
+
+    def test_markers_present(self):
+        chart = line_chart(
+            {"alpha": [0, 1, 2], "beta": [2, 1, 0]}, height=4
+        )
+        assert "a" in chart
+        assert "b" in chart
+
+    def test_extremes_on_boundary_rows(self):
+        chart = line_chart({"x": [0.0, 10.0]}, height=4, width=2)
+        lines = chart.splitlines()
+        assert "x" in lines[0]  # max on top row
+        assert "x" in lines[-2]  # min on bottom row
+
+    def test_axis_labels_show_range(self):
+        chart = line_chart({"x": [2.0, 8.0]}, height=3)
+        assert "8.00" in chart
+        assert "2.00" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart({"flat": [1.0, 1.0, 1.0]}, height=3)
+        assert "f" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({})
+        with pytest.raises(ReproError):
+            line_chart({"x": []})

@@ -1,0 +1,128 @@
+"""Tests for time-varying load profiles."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.benchmark import BenchmarkSet
+from repro.workloads.load_profile import (
+    LoadPhase,
+    VaryingLoadProcess,
+    ramp_profile,
+)
+
+
+def process(phases, **overrides):
+    kwargs = dict(
+        benchmark_set=BenchmarkSet.GENERAL_PURPOSE,
+        phases=phases,
+        n_sockets=24,
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return VaryingLoadProcess(**kwargs)
+
+
+class TestLoadPhase:
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(WorkloadError):
+            LoadPhase(duration_s=0.0, load=0.5)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(WorkloadError):
+            LoadPhase(duration_s=1.0, load=0.0)
+        with pytest.raises(WorkloadError):
+            LoadPhase(duration_s=1.0, load=1.5)
+
+
+class TestVaryingLoadProcess:
+    PHASES = [
+        LoadPhase(duration_s=5.0, load=0.2),
+        LoadPhase(duration_s=5.0, load=0.8),
+    ]
+
+    def test_total_duration(self):
+        assert process(self.PHASES).total_duration_s == pytest.approx(
+            10.0
+        )
+
+    def test_boundaries(self):
+        bounds = process(self.PHASES).phase_boundaries_s()
+        assert bounds == [(0.0, 5.0, 0.2), (5.0, 10.0, 0.8)]
+
+    def test_arrivals_sorted_with_unique_ids(self):
+        jobs = process(self.PHASES).generate()
+        times = [j.arrival_s for j in jobs]
+        assert times == sorted(times)
+        ids = [j.job_id for j in jobs]
+        assert ids == list(range(len(jobs)))
+
+    def test_rate_changes_between_phases(self):
+        jobs = process(self.PHASES).generate()
+        first = sum(1 for j in jobs if j.arrival_s < 5.0)
+        second = len(jobs) - first
+        assert second > 2.5 * first
+
+    def test_deterministic(self):
+        a = process(self.PHASES).generate()
+        b = process(self.PHASES).generate()
+        assert [j.arrival_s for j in a] == [j.arrival_s for j in b]
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(WorkloadError):
+            process([])
+
+    def test_bad_socket_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            process(self.PHASES, n_sockets=0)
+
+
+class TestRampProfile:
+    def test_staircase_endpoints(self):
+        phases = ramp_profile(0.2, 0.8, steps=4, total_duration_s=8.0)
+        assert len(phases) == 4
+        assert phases[0].load == pytest.approx(0.2)
+        assert phases[-1].load == pytest.approx(0.8)
+
+    def test_durations_split_evenly(self):
+        phases = ramp_profile(0.2, 0.8, steps=4, total_duration_s=8.0)
+        for phase in phases:
+            assert phase.duration_s == pytest.approx(2.0)
+
+    def test_monotone_loads(self):
+        phases = ramp_profile(0.1, 0.9, steps=5, total_duration_s=5.0)
+        loads = [p.load for p in phases]
+        assert loads == sorted(loads)
+
+    def test_descending_ramp(self):
+        phases = ramp_profile(0.9, 0.1, steps=3, total_duration_s=3.0)
+        loads = [p.load for p in phases]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(WorkloadError):
+            ramp_profile(0.2, 0.8, steps=1, total_duration_s=5.0)
+        with pytest.raises(WorkloadError):
+            ramp_profile(0.0, 0.8, steps=3, total_duration_s=5.0)
+        with pytest.raises(WorkloadError):
+            ramp_profile(0.2, 0.8, steps=3, total_duration_s=0.0)
+
+
+class TestEngineIntegration:
+    def test_ramp_simulates(self, small_sut, smoke_params):
+        from repro.core import get_scheduler
+        from repro.sim.engine import Simulation
+
+        phases = ramp_profile(
+            0.2, 0.9, steps=3, total_duration_s=smoke_params.sim_time_s
+        )
+        stream = VaryingLoadProcess(
+            benchmark_set=BenchmarkSet.COMPUTATION,
+            phases=phases,
+            n_sockets=small_sut.n_sockets,
+            seed=0,
+            duration_scale=smoke_params.duration_scale,
+        )
+        result = Simulation(
+            small_sut, smoke_params, get_scheduler("CP")
+        ).run(stream.generate())
+        assert result.n_jobs_completed > 0

@@ -1,0 +1,150 @@
+"""Tests for repro.workloads.pcmark and benchmark sets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics.stats import coefficient_of_variation
+from repro.workloads.benchmark import (
+    BenchmarkSet,
+    SET_PROFILES,
+    profile_for,
+)
+from repro.workloads.pcmark import (
+    PCMARK_APPS,
+    app_by_name,
+    apps_in_set,
+)
+
+
+class TestSuiteComposition:
+    def test_nineteen_apps(self):
+        assert len(PCMARK_APPS) == 19
+
+    def test_set_sizes(self):
+        assert len(apps_in_set(BenchmarkSet.COMPUTATION)) == 6
+        assert len(apps_in_set(BenchmarkSet.STORAGE)) == 6
+        assert len(apps_in_set(BenchmarkSet.GENERAL_PURPOSE)) == 7
+
+    def test_unique_names(self):
+        names = [app.name for app in PCMARK_APPS]
+        assert len(set(names)) == len(names)
+
+    def test_app_by_name(self):
+        app = app_by_name("video-transcode")
+        assert app.benchmark_set == BenchmarkSet.COMPUTATION
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(WorkloadError):
+            app_by_name("quake")
+
+
+class TestFigure6Statistics:
+    def test_set_mean_durations_match_profiles(self):
+        for benchmark_set in BenchmarkSet:
+            apps = apps_in_set(benchmark_set)
+            mean = np.mean([a.mean_duration_ms for a in apps])
+            assert mean == pytest.approx(
+                profile_for(benchmark_set).mean_duration_ms, rel=0.02
+            )
+
+    def test_intra_set_cov_in_paper_band(self):
+        """Figure 6b: CoV of benchmark means between 0.25 and 0.33."""
+        for benchmark_set in BenchmarkSet:
+            means = [
+                a.mean_duration_ms for a in apps_in_set(benchmark_set)
+            ]
+            cov = coefficient_of_variation(means)
+            assert 0.24 <= cov <= 0.34, f"{benchmark_set}: {cov}"
+
+    def test_sampled_mean_matches_declared(self, rng):
+        app = PCMARK_APPS[0]
+        samples = app.sample_durations_ms(200000, rng)
+        assert samples.mean() == pytest.approx(
+            app.mean_duration_ms, rel=0.05
+        )
+
+    def test_heavy_tail_two_orders_of_magnitude(self, rng):
+        """Figure 6a: maxima ~2 orders of magnitude above the mean."""
+        app = PCMARK_APPS[0]
+        samples = app.sample_durations_ms(100000, rng)
+        assert samples.max() / samples.mean() > 30
+
+    def test_all_durations_positive(self, rng):
+        for app in PCMARK_APPS:
+            assert (app.sample_durations_ms(1000, rng) > 0).all()
+
+    def test_negative_sample_count_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            PCMARK_APPS[0].sample_durations_ms(-1, rng)
+
+
+class TestFigure7Power:
+    def test_set_mean_power_matches_profiles(self):
+        for benchmark_set in BenchmarkSet:
+            apps = apps_in_set(benchmark_set)
+            mean = np.mean([a.power_at_max_w for a in apps])
+            assert mean == pytest.approx(
+                profile_for(benchmark_set).power_at_max_w, rel=0.01
+            )
+
+    def test_computation_most_power(self):
+        assert (
+            SET_PROFILES[BenchmarkSet.COMPUTATION].power_at_max_w
+            > SET_PROFILES[BenchmarkSet.GENERAL_PURPOSE].power_at_max_w
+            > SET_PROFILES[BenchmarkSet.STORAGE].power_at_max_w
+        )
+
+    def test_computation_most_frequency_sensitive(self):
+        assert (
+            SET_PROFILES[BenchmarkSet.COMPUTATION].perf_drop_at_min
+            > SET_PROFILES[BenchmarkSet.GENERAL_PURPOSE].perf_drop_at_min
+            > SET_PROFILES[BenchmarkSet.STORAGE].perf_drop_at_min
+        )
+
+    def test_paper_endpoint_values(self):
+        assert SET_PROFILES[
+            BenchmarkSet.COMPUTATION
+        ].power_at_max_w == pytest.approx(18.0)
+        assert SET_PROFILES[
+            BenchmarkSet.STORAGE
+        ].power_at_max_w == pytest.approx(10.5)
+        assert SET_PROFILES[
+            BenchmarkSet.COMPUTATION
+        ].perf_drop_at_min == pytest.approx(0.35)
+
+
+class TestBlockPowerMap:
+    def test_conserves_total_power(self):
+        for app in PCMARK_APPS:
+            powers = app.block_power_map(12.0)
+            assert sum(powers.values()) == pytest.approx(12.0)
+
+    def test_active_cores_carry_core_power(self):
+        app = app_by_name("video-transcode")
+        powers = app.block_power_map(10.0)
+        active = [
+            powers[f"core{i}"] for i in range(app.active_cores)
+        ]
+        inactive = [
+            powers[f"core{i}"]
+            for i in range(app.active_cores, 4)
+        ]
+        assert all(p > 0 for p in active)
+        assert all(p == 0 for p in inactive)
+        assert sum(active) == pytest.approx(
+            10.0 * app.core_power_fraction
+        )
+
+    def test_storage_concentrates_uncore_io(self):
+        app = app_by_name("file-copy")
+        powers = app.block_power_map(10.0)
+        assert powers["uncore"] + powers["io"] > powers["gpu"]
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(WorkloadError):
+            PCMARK_APPS[0].block_power_map(-1.0)
+
+    def test_zero_power_all_zero(self):
+        powers = PCMARK_APPS[0].block_power_map(0.0)
+        assert all(p == 0 for p in powers.values())

@@ -1,0 +1,76 @@
+"""Tests for repro.workloads.perf_model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.server.processors import FrequencyLadder
+from repro.workloads.benchmark import BenchmarkSet
+from repro.workloads.perf_model import PerfModel, relative_performance
+
+
+class TestRelativePerformance:
+    def test_unity_at_max_frequency(self):
+        for benchmark_set in BenchmarkSet:
+            model = PerfModel.for_set(benchmark_set)
+            assert model.relative_performance(1900) == pytest.approx(1.0)
+
+    def test_figure7_drop_at_min(self):
+        """Computation loses ~35%, GP ~25%, Storage ~10% at 1100 MHz."""
+        expectations = {
+            BenchmarkSet.COMPUTATION: 0.65,
+            BenchmarkSet.GENERAL_PURPOSE: 0.75,
+            BenchmarkSet.STORAGE: 0.90,
+        }
+        for benchmark_set, expected in expectations.items():
+            model = PerfModel.for_set(benchmark_set)
+            assert model.relative_performance(1100) == pytest.approx(
+                expected
+            )
+
+    def test_paper_phrasing_800mhz_reduction(self):
+        """Performance drops ~35% for an 800 MHz reduction (Computation)."""
+        model = PerfModel.for_set(BenchmarkSet.COMPUTATION)
+        drop = 1.0 - model.relative_performance(1900 - 800)
+        assert drop == pytest.approx(0.35)
+
+    def test_linear_between_endpoints(self):
+        model = PerfModel.for_set(BenchmarkSet.COMPUTATION)
+        mid = model.relative_performance(1500)
+        assert mid == pytest.approx((1.0 + 0.65) / 2)
+
+    def test_monotone_in_frequency(self):
+        model = PerfModel.for_set(BenchmarkSet.GENERAL_PURPOSE)
+        perfs = [
+            model.relative_performance(f)
+            for f in (1100, 1300, 1500, 1700, 1900)
+        ]
+        assert perfs == sorted(perfs)
+
+    def test_vectorised(self):
+        model = PerfModel.for_set(BenchmarkSet.STORAGE)
+        out = model.relative_performance(np.array([1100.0, 1900.0]))
+        assert out.shape == (2,)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_runtime_expansion_inverse(self):
+        model = PerfModel.for_set(BenchmarkSet.COMPUTATION)
+        assert model.runtime_expansion(1100) == pytest.approx(1 / 0.65)
+
+    def test_execution_rate_equals_relative_performance(self):
+        model = PerfModel.for_set(BenchmarkSet.COMPUTATION)
+        assert model.execution_rate(1500) == pytest.approx(
+            model.relative_performance(1500)
+        )
+
+    def test_invalid_drop_rejected(self):
+        with pytest.raises(WorkloadError):
+            relative_performance(1500, 1.5)
+        with pytest.raises(WorkloadError):
+            PerfModel(perf_drop_at_min=-0.1)
+
+    def test_degenerate_single_state_ladder(self):
+        ladder = FrequencyLadder(states_mhz=(1000,), sustained_mhz=1000)
+        assert relative_performance(1000, 0.3, ladder) == pytest.approx(
+            1.0
+        )

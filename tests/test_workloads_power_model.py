@@ -1,0 +1,104 @@
+"""Tests for repro.workloads.power_model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.benchmark import BenchmarkSet
+from repro.workloads.pcmark import app_by_name
+from repro.workloads.power_model import (
+    LEAKAGE_REFERENCE_C,
+    LEAKAGE_TDP_FRACTION,
+    PowerModel,
+    leakage_power,
+)
+
+
+class TestLeakage:
+    def test_thirty_percent_of_tdp_at_reference(self):
+        assert leakage_power(90.0, 22.0) == pytest.approx(0.3 * 22.0)
+
+    def test_increases_with_temperature(self):
+        assert leakage_power(95.0, 22.0) > leakage_power(60.0, 22.0)
+
+    def test_floor_at_low_temperature(self):
+        cold = leakage_power(-100.0, 22.0)
+        assert cold == pytest.approx(0.25 * 0.3 * 22.0)
+
+    def test_vectorised(self):
+        temps = np.array([60.0, 90.0, 95.0])
+        values = leakage_power(temps, 22.0)
+        assert values.shape == (3,)
+        assert values[1] == pytest.approx(6.6)
+
+    def test_bad_tdp_rejected(self):
+        with pytest.raises(WorkloadError):
+            leakage_power(90.0, 0.0)
+
+
+class TestPowerModel:
+    def test_figure7_endpoints(self):
+        """Total power at 1900 MHz and 90 C matches Figure 7a."""
+        for benchmark_set, expected in (
+            (BenchmarkSet.COMPUTATION, 18.0),
+            (BenchmarkSet.GENERAL_PURPOSE, 14.0),
+            (BenchmarkSet.STORAGE, 10.5),
+        ):
+            model = PowerModel.for_set(benchmark_set)
+            assert model.power_at_reference(1900) == pytest.approx(
+                expected
+            )
+
+    def test_power_decreases_with_frequency(self):
+        model = PowerModel.for_set(BenchmarkSet.COMPUTATION)
+        powers = [model.power_at_reference(f) for f in (1100, 1500, 1900)]
+        assert powers == sorted(powers)
+
+    def test_computation_drops_more_than_storage(self):
+        """Figure 7a: power falls faster for Computation."""
+        comp = PowerModel.for_set(BenchmarkSet.COMPUTATION)
+        stor = PowerModel.for_set(BenchmarkSet.STORAGE)
+        comp_drop = comp.power_at_reference(1900) - comp.power_at_reference(
+            1100
+        )
+        stor_drop = stor.power_at_reference(1900) - stor.power_at_reference(
+            1100
+        )
+        assert comp_drop > stor_drop
+
+    def test_total_power_splits_dynamic_and_leakage(self):
+        model = PowerModel.for_set(BenchmarkSet.COMPUTATION)
+        total = model.total_power(1900, 90.0)
+        assert total == pytest.approx(
+            model.dynamic_power(1900) + leakage_power(90.0, 22.0)
+        )
+
+    def test_dynamic_power_at_max(self):
+        model = PowerModel.for_set(BenchmarkSet.COMPUTATION)
+        assert model.dynamic_power_at_max_w == pytest.approx(
+            18.0 - 0.3 * 22.0
+        )
+
+    def test_for_app_uses_app_power(self):
+        app = app_by_name("spreadsheet-calc")
+        model = PowerModel.for_app(app)
+        assert model.power_at_reference(1900) == pytest.approx(
+            app.power_at_max_w
+        )
+
+    def test_vectorised_frequencies(self):
+        model = PowerModel.for_set(BenchmarkSet.STORAGE)
+        freqs = np.array([1100.0, 1900.0])
+        out = model.power_at_reference(freqs)
+        assert out.shape == (2,)
+        assert out[0] < out[1]
+
+    def test_power_below_leakage_rejected(self):
+        with pytest.raises(WorkloadError):
+            PowerModel(power_at_max_w=5.0, dynamic_exponent=1.5, tdp_w=22.0)
+
+    def test_bad_exponent_rejected(self):
+        with pytest.raises(WorkloadError):
+            PowerModel(
+                power_at_max_w=18.0, dynamic_exponent=0.0, tdp_w=22.0
+            )

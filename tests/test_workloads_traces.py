@@ -1,0 +1,138 @@
+"""Tests for repro.workloads.traces (Xperf-style capture/replay)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.pcmark import PCMARK_APPS
+from repro.workloads.traces import (
+    EmpiricalArrivalModel,
+    XperfTrace,
+    arrival_model_from_trace,
+    capture_trace,
+)
+
+APP = PCMARK_APPS[0]
+
+
+class TestXperfTrace:
+    def test_busy_fraction(self):
+        trace = XperfTrace(
+            app_name="x",
+            duration_s=10.0,
+            busy_intervals_s=((0.0, 2.0), (5.0, 8.0)),
+        )
+        assert trace.busy_fraction == pytest.approx(0.5)
+
+    def test_job_durations(self):
+        trace = XperfTrace(
+            app_name="x",
+            duration_s=10.0,
+            busy_intervals_s=((0.0, 1.0), (2.0, 4.0)),
+        )
+        assert trace.job_durations_s == [1.0, 2.0]
+
+    def test_inter_arrival_gaps(self):
+        trace = XperfTrace(
+            app_name="x",
+            duration_s=10.0,
+            busy_intervals_s=((0.0, 1.0), (3.0, 4.0), (7.0, 8.0)),
+        )
+        assert trace.inter_arrival_gaps_s == [3.0, 4.0]
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(WorkloadError):
+            XperfTrace(
+                app_name="x",
+                duration_s=10.0,
+                busy_intervals_s=((0.0, 3.0), (2.0, 4.0)),
+            )
+
+    def test_interval_beyond_duration_rejected(self):
+        with pytest.raises(WorkloadError):
+            XperfTrace(
+                app_name="x",
+                duration_s=1.0,
+                busy_intervals_s=((0.0, 2.0),),
+            )
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(WorkloadError):
+            XperfTrace(
+                app_name="x",
+                duration_s=1.0,
+                busy_intervals_s=((0.5, 0.5),),
+            )
+
+
+class TestCaptureTrace:
+    def test_busy_fraction_tracks_load(self):
+        trace = capture_trace(APP, duration_s=60.0, load=0.5, seed=3)
+        assert trace.busy_fraction == pytest.approx(0.5, abs=0.1)
+
+    def test_intervals_sorted_non_overlapping(self):
+        trace = capture_trace(APP, duration_s=30.0, load=0.7, seed=1)
+        previous_end = 0.0
+        for start, end in trace.busy_intervals_s:
+            assert start >= previous_end
+            assert end > start
+            previous_end = end
+
+    def test_deterministic(self):
+        a = capture_trace(APP, 10.0, 0.5, seed=9)
+        b = capture_trace(APP, 10.0, 0.5, seed=9)
+        assert a.busy_intervals_s == b.busy_intervals_s
+
+    def test_high_load_merges_intervals(self):
+        """Back-to-back jobs fuse: fewer intervals than jobs at load 1."""
+        trace = capture_trace(APP, duration_s=30.0, load=1.0, seed=2)
+        mean_interval = (
+            sum(trace.job_durations_s) / len(trace.job_durations_s)
+        )
+        assert mean_interval > APP.mean_duration_ms / 1000.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(WorkloadError):
+            capture_trace(APP, 0.0, 0.5)
+        with pytest.raises(WorkloadError):
+            capture_trace(APP, 10.0, 0.0)
+
+
+class TestArrivalModelFromTrace:
+    def test_replay_statistics_similar(self):
+        trace = capture_trace(APP, duration_s=120.0, load=0.4, seed=5)
+        model = arrival_model_from_trace(trace, APP)
+        jobs = model.generate(120.0, seed=6)
+        replay_mean = sum(j.work_ms for j in jobs) / len(jobs) / 1000.0
+        assert replay_mean == pytest.approx(
+            model.mean_duration_s, rel=0.3
+        )
+
+    def test_replay_sorted_arrivals(self):
+        trace = capture_trace(APP, duration_s=60.0, load=0.4, seed=5)
+        model = arrival_model_from_trace(trace, APP)
+        jobs = model.generate(30.0, seed=1)
+        times = [j.arrival_s for j in jobs]
+        assert times == sorted(times)
+
+    def test_too_short_trace_rejected(self):
+        trace = XperfTrace(
+            app_name=APP.name,
+            duration_s=1.0,
+            busy_intervals_s=((0.0, 0.5),),
+        )
+        with pytest.raises(WorkloadError):
+            arrival_model_from_trace(trace, APP)
+
+    def test_empirical_model_validation(self):
+        with pytest.raises(WorkloadError):
+            EmpiricalArrivalModel(app=APP, durations_s=[], gaps_s=[1.0])
+        with pytest.raises(WorkloadError):
+            EmpiricalArrivalModel(
+                app=APP, durations_s=[1.0], gaps_s=[-1.0]
+            )
+
+    def test_generate_respects_horizon(self):
+        trace = capture_trace(APP, duration_s=60.0, load=0.4, seed=5)
+        model = arrival_model_from_trace(trace, APP)
+        jobs = model.generate(10.0, seed=2)
+        assert all(j.arrival_s < 10.0 for j in jobs)
