@@ -1,0 +1,84 @@
+"""Benchmark the parallel sweep executor against the serial path.
+
+Measures the three execution modes of :func:`repro.sim.runner.
+run_sweep` on one small scheduler x load grid: the classic serial
+loop, a 4-worker process pool, and a warm memo cache.  The parallel
+and serial runs must agree bit-for-bit on every metric (the executor's
+core contract), and the cached re-run must do no simulation work at
+all.  On a multi-core machine the pool run's wall time is the
+headline: it should approach serial / min(workers, points).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import smoke
+from repro.sim.parallel import SweepCache
+from repro.sim.runner import run_sweep
+from repro.server.topology import moonshot_sut
+from repro.workloads.benchmark import BenchmarkSet
+
+GRID = dict(
+    scheduler_names=("CF", "HF", "Predictive", "CP"),
+    benchmark_sets=(BenchmarkSet.COMPUTATION,),
+    loads=(0.3, 0.7),
+)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return moonshot_sut(n_rows=2)
+
+
+@pytest.fixture(scope="module")
+def serial_results(topology):
+    return run_sweep(topology, smoke(seed=1), **GRID)
+
+
+def test_sweep_serial(benchmark, topology):
+    results = benchmark.pedantic(
+        run_sweep,
+        args=(topology, smoke(seed=1)),
+        kwargs=GRID,
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == 8
+
+
+def test_sweep_parallel_workers4(
+    benchmark, topology, serial_results, record_artifact
+):
+    results = benchmark.pedantic(
+        run_sweep,
+        args=(topology, smoke(seed=1)),
+        kwargs=dict(**GRID, max_workers=4),
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    for key, result in results.items():
+        baseline = serial_results[key]
+        assert result.energy_j == baseline.energy_j
+        assert result.n_jobs_completed == baseline.n_jobs_completed
+        assert np.array_equal(result.max_chip_c, baseline.max_chip_c)
+        name, benchmark_set, load = key
+        lines.append(
+            f"{name:12s} {benchmark_set.value:12s} load={load:.1f} "
+            f"energy={result.energy_j:.3f}J "
+            f"completed={result.n_jobs_completed}"
+        )
+    record_artifact("parallel_sweep", "\n".join(lines) + "\n")
+
+
+def test_sweep_cached_rerun(benchmark, topology):
+    cache = SweepCache()
+    run_sweep(topology, smoke(seed=1), **GRID, cache=cache)
+    results = benchmark.pedantic(
+        run_sweep,
+        args=(topology, smoke(seed=1)),
+        kwargs=dict(**GRID, cache=cache),
+        rounds=1,
+        iterations=1,
+    )
+    assert cache.hits == len(results)

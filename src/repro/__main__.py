@@ -38,6 +38,17 @@ def _cmd_schedulers(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    import os
+
+    from .experiments.common import ENV_AUDIT, ENV_WORKERS
+
+    # Experiments read their scale knobs from ExperimentConfig, which
+    # honours these environment variables; the flags are a convenience
+    # spelling of the same contract.
+    if args.workers is not None:
+        os.environ[ENV_WORKERS] = str(args.workers)
+    if args.audit:
+        os.environ[ENV_AUDIT] = "1"
     if args.all:
         experiments = all_experiments()
     elif args.light:
@@ -80,7 +91,13 @@ def _cmd_sweep(args) -> int:
         seed=args.seed,
     )
     results = run_sweep(
-        topology, params, args.schemes, sets, args.loads
+        topology,
+        params,
+        args.schemes,
+        sets,
+        args.loads,
+        max_workers=args.workers or 1,
+        audit=args.audit,
     )
     if args.csv:
         save_csv(results, args.csv)
@@ -97,6 +114,38 @@ def _cmd_sweep(args) -> int:
                 f"power={row['average_power_w']:.0f}W"
             )
     return 0
+
+
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1, got {value}"
+        )
+    return value
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--workers`` / ``--audit`` execution flags."""
+    parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=None,
+        metavar="N",
+        help=(
+            "run sweep points across N worker processes "
+            "(results are bit-identical to serial execution)"
+        ),
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "check physical invariants (finite ordered temperatures, "
+            "power envelope, non-negative work, monotone energy) "
+            "periodically during every simulation"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -129,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="regenerate only the fast analytical artifacts",
     )
+    _add_execution_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     sched_parser = sub.add_parser(
@@ -170,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument("--csv", help="write summaries to CSV")
     sweep_parser.add_argument("--json", help="write summaries to JSON")
+    _add_execution_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     report_parser = sub.add_parser(

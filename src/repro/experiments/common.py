@@ -4,12 +4,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..config.parameters import SimulationParameters
 from ..config.presets import scaled
 from ..errors import ConfigurationError
 from ..server.topology import ServerTopology, moonshot_sut
+from ..sim.results import SimulationResult
 from ..workloads.benchmark import BenchmarkSet
 
 #: Environment variable overriding the number of SUT rows.
@@ -17,6 +18,13 @@ ENV_ROWS = "REPRO_ROWS"
 
 #: Environment variable overriding the simulated horizon (seconds).
 ENV_SIM_TIME = "REPRO_SIM_TIME"
+
+#: Environment variable overriding the sweep worker-process count.
+ENV_WORKERS = "REPRO_WORKERS"
+
+#: Environment variable enabling runtime invariant auditing (any
+#: non-empty value other than "0").
+ENV_AUDIT = "REPRO_AUDIT"
 
 
 @dataclass
@@ -36,6 +44,9 @@ class ExperimentConfig:
         seed: Workload seed.
         loads: Load levels for sweep experiments.
         benchmark_sets: Benchmark sets for sweep experiments.
+        max_workers: Worker processes for sweep execution (1 = serial;
+            results are bit-identical either way).
+        audit: Run every simulation under an invariant auditor.
     """
 
     n_rows: int = 3
@@ -48,6 +59,8 @@ class ExperimentConfig:
         BenchmarkSet.GENERAL_PURPOSE,
         BenchmarkSet.STORAGE,
     )
+    max_workers: int = 1
+    audit: bool = False
 
     def __post_init__(self) -> None:
         env_rows = os.environ.get(ENV_ROWS)
@@ -57,8 +70,16 @@ class ExperimentConfig:
         if env_time:
             self.sim_time_s = float(env_time)
             self.warmup_s = min(self.warmup_s, self.sim_time_s / 3.0)
+        env_workers = os.environ.get(ENV_WORKERS)
+        if env_workers:
+            self.max_workers = int(env_workers)
+        env_audit = os.environ.get(ENV_AUDIT)
+        if env_audit is not None and env_audit not in ("", "0"):
+            self.audit = True
         if self.n_rows < 1:
             raise ConfigurationError("n_rows must be >= 1")
+        if self.max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
         if not 0 < self.warmup_s < self.sim_time_s:
             raise ConfigurationError(
                 "warmup must be positive and below the horizon"
@@ -74,6 +95,32 @@ class ExperimentConfig:
             sim_time_s=self.sim_time_s,
             warmup_s=self.warmup_s,
             seed=self.seed,
+        )
+
+    def sweep(
+        self,
+        scheduler_names: Sequence[str],
+        benchmark_sets: "Sequence[BenchmarkSet] | None" = None,
+        loads: "Sequence[float] | None" = None,
+    ) -> Dict[Tuple[str, BenchmarkSet, float], SimulationResult]:
+        """Run a sweep under this configuration's scale knobs.
+
+        Points fan out over ``max_workers`` processes, run under the
+        invariant auditor when ``audit`` is set, and memoise into the
+        process-wide sweep cache — figures sharing grid points (e.g.
+        Figures 14 and 15) recompute nothing.
+        """
+        from ..sim.runner import run_sweep
+
+        return run_sweep(
+            self.topology(),
+            self.parameters(),
+            scheduler_names,
+            self.benchmark_sets if benchmark_sets is None else benchmark_sets,
+            self.loads if loads is None else loads,
+            max_workers=self.max_workers,
+            audit=self.audit,
+            use_cache=True,
         )
 
 

@@ -12,9 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..core import get_scheduler
 from ..metrics.performance import relative_runtime_expansion
-from ..sim.runner import run_once
 from ..workloads.benchmark import BenchmarkSet
 from .common import ExperimentConfig, format_table
 
@@ -74,32 +72,27 @@ def run(
     loads: Sequence[float] = DEFAULT_LOADS,
     schemes: Sequence[str] = EXISTING_SCHEMES,
 ) -> Figure11Result:
-    """Simulate every existing scheme at the requested loads."""
+    """Simulate every existing scheme at the requested loads.
+
+    The (scheme x load) grid executes through the parallel sweep
+    executor — ``config.max_workers`` processes, optional invariant
+    auditing, memoised results — and CF is normalised per load.
+    """
     config = config or ExperimentConfig()
-    topology = config.topology()
-    params = config.parameters()
+    names = tuple(dict.fromkeys(("CF",) + tuple(schemes)))
+    results = config.sweep(
+        names, benchmark_sets=(BenchmarkSet.COMPUTATION,), loads=loads
+    )
     expansion: Dict[Tuple[str, float], float] = {}
     for load in loads:
-        baseline = run_once(
-            topology,
-            params,
-            get_scheduler("CF"),
-            BenchmarkSet.COMPUTATION,
-            load,
-        )
+        baseline = results[("CF", BenchmarkSet.COMPUTATION, load)]
         for scheme in schemes:
             if scheme == "CF":
                 expansion[(scheme, load)] = 1.0
                 continue
-            result = run_once(
-                topology,
-                params,
-                get_scheduler(scheme),
-                BenchmarkSet.COMPUTATION,
-                load,
-            )
             expansion[(scheme, load)] = relative_runtime_expansion(
-                result, baseline
+                results[(scheme, BenchmarkSet.COMPUTATION, load)],
+                baseline,
             )
     return Figure11Result(
         expansion_vs_cf=expansion,

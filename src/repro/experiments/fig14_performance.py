@@ -13,10 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..core import get_scheduler
 from ..metrics.performance import relative_performance
 from ..sim.results import SimulationResult
-from ..sim.runner import run_once
 from ..workloads.benchmark import BenchmarkSet
 from .common import ExperimentConfig, format_table
 
@@ -92,33 +90,31 @@ def run(
     config: ExperimentConfig = None,
     schemes: Sequence[str] = ALL_SCHEMES,
 ) -> Figure14Result:
-    """Run the full scheduler x load x workload sweep."""
+    """Run the full scheduler x load x workload sweep.
+
+    The grid executes through the parallel sweep executor
+    (``config.max_workers`` processes, optional invariant auditing,
+    memoised results), then every point is normalised to the CF run at
+    the same (set, load).
+    """
     config = config or ExperimentConfig()
-    topology = config.topology()
-    params = config.parameters()
+    names = tuple(dict.fromkeys(("CF",) + tuple(schemes)))
+    results = config.sweep(names)
     performance: Dict[Tuple[str, BenchmarkSet, float], float] = {}
     for benchmark_set in config.benchmark_sets:
         for load in config.loads:
-            baseline: SimulationResult = run_once(
-                topology,
-                params,
-                get_scheduler("CF"),
-                benchmark_set,
-                load,
-            )
+            baseline: SimulationResult = results[
+                ("CF", benchmark_set, load)
+            ]
             for scheme in schemes:
                 if scheme == "CF":
                     performance[(scheme, benchmark_set, load)] = 1.0
                     continue
-                result = run_once(
-                    topology,
-                    params,
-                    get_scheduler(scheme),
-                    benchmark_set,
-                    load,
-                )
                 performance[(scheme, benchmark_set, load)] = (
-                    relative_performance(result, baseline)
+                    relative_performance(
+                        results[(scheme, benchmark_set, load)],
+                        baseline,
+                    )
                 )
     return Figure14Result(
         performance_vs_cf=performance,

@@ -12,9 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..core import get_scheduler
 from ..metrics.energy import relative_ed2
-from ..sim.runner import run_once
 from ..workloads.benchmark import BenchmarkSet
 from .common import ExperimentConfig, format_table
 
@@ -71,33 +69,25 @@ def run(
     config: ExperimentConfig = None,
     schemes: Sequence[str] = DEFAULT_SCHEMES,
 ) -> Figure15Result:
-    """Run the ED^2 sweep."""
+    """Run the ED^2 sweep.
+
+    Runs through the parallel sweep executor; its grid is a subset of
+    Figure 14's, so with the shared sweep cache warm (e.g. after a
+    ``run --all``) every point is memoised and nothing re-simulates.
+    """
     config = config or ExperimentConfig()
-    topology = config.topology()
-    params = config.parameters()
+    names = tuple(dict.fromkeys(("CF",) + tuple(schemes)))
+    results = config.sweep(names)
     ed2: Dict[Tuple[str, BenchmarkSet, float], float] = {}
     for benchmark_set in config.benchmark_sets:
         for load in config.loads:
-            baseline = run_once(
-                topology,
-                params,
-                get_scheduler("CF"),
-                benchmark_set,
-                load,
-            )
+            baseline = results[("CF", benchmark_set, load)]
             for scheme in schemes:
                 if scheme == "CF":
                     ed2[(scheme, benchmark_set, load)] = 1.0
                     continue
-                result = run_once(
-                    topology,
-                    params,
-                    get_scheduler(scheme),
-                    benchmark_set,
-                    load,
-                )
                 ed2[(scheme, benchmark_set, load)] = relative_ed2(
-                    result, baseline
+                    results[(scheme, benchmark_set, load)], baseline
                 )
     return Figure15Result(
         ed2_vs_cf=ed2,

@@ -22,8 +22,10 @@ vector operations regardless of socket count.
 from .state import SimulationState
 from .power_manager import select_frequencies, predicted_chip_temperature
 from .engine import Simulation
+from .invariants import InvariantAuditor, InvariantViolation
 from .results import SimulationResult
 from .runner import run_once, run_sweep
+from .parallel import SweepCache, clear_shared_cache, execute_sweep
 
 __all__ = [
     "SimulationState",
@@ -31,6 +33,11 @@ __all__ = [
     "predicted_chip_temperature",
     "Simulation",
     "SimulationResult",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "SweepCache",
+    "clear_shared_cache",
+    "execute_sweep",
     "run_once",
     "run_sweep",
 ]

@@ -33,6 +33,7 @@ class Simulation:
         migrator=None,
         fan_controller=None,
         trace_config=None,
+        auditor=None,
     ):
         """Bind a run configuration.
 
@@ -49,6 +50,10 @@ class Simulation:
             trace_config: Optional :class:`repro.sim.tracing.
                 TraceConfig`; samples aggregate state periodically into
                 ``result.trace``.
+            auditor: Optional :class:`repro.sim.invariants.
+                InvariantAuditor`; checks physical invariants every
+                ``auditor.interval_steps`` steps and raises on
+                violation.  Must be a fresh instance per run.
         """
         self.topology = topology
         self.params = params
@@ -56,6 +61,7 @@ class Simulation:
         self.migrator = migrator
         self.fan_controller = fan_controller
         self.trace_config = trace_config
+        self.auditor = auditor
 
     def run(self, jobs: Sequence[Job]) -> SimulationResult:
         """Simulate the given job stream to the configured horizon.
@@ -119,6 +125,7 @@ class Simulation:
         if fan is not None:
             fan_steps = max(int(round(fan.interval_s / dt)), 1)
             fan_power_w = fan.fan_power_w(airflow_scale)
+        auditor = self.auditor
         trace = None
         trace_steps = 0
         if self.trace_config is not None:
@@ -258,6 +265,14 @@ class Simulation:
                 trace.sample(state, len(queue), max_mhz)
                 if self.trace_config.per_zone:
                     trace.sample_zones(state)
+
+            # 7. Optional invariant audit (read-only: an audited run is
+            # bit-identical to an unaudited one).
+            if (
+                auditor is not None
+                and step % auditor.interval_steps == 0
+            ):
+                auditor.check(state, step, result.energy_j)
 
         result.n_migrations = migrations
         if params.measured_span_s > 0:

@@ -1,0 +1,295 @@
+"""Runtime invariant auditing for simulation runs.
+
+The engine advances thousands of vectorised steps per run; a silent
+physics bug (a NaN leaking out of a thermal update, a power excursion
+past the TDP envelope, work retiring twice) can corrupt every metric
+downstream without crashing anything.  The :class:`InvariantAuditor` is
+an opt-in guard hooked into :meth:`repro.sim.engine.Simulation.run`: at
+a configurable step cadence it checks the physical consistency of the
+full simulation state and raises a structured
+:class:`InvariantViolation` (a :class:`~repro.errors.SimulationError`)
+naming the step, the offending socket and the violated invariant.
+
+Checked invariants:
+
+- every temperature, power and work value is finite;
+- temperatures are ordered along the heat path: ``inlet <= ambient``
+  exactly (coupling only ever heats the air) and
+  ``ambient <= sink + lag`` / ``sink <= chip + lag`` within a
+  thermal-mass lag tolerance (the sink node may transiently trail a
+  fast-moving ambient, and the chip node its target, by a bounded
+  amount set by the time constants);
+- per-socket power stays inside ``[gated, tdp + leakage margin]``;
+- remaining work on every socket is non-negative, and idle sockets
+  carry exactly zero remaining work;
+- cumulative energy is monotone non-decreasing between audits.
+
+Auditing reads state only — it never mutates anything — so an audited
+run produces bit-identical results to an unaudited one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+
+#: Default audit cadence, in power-manager steps.
+DEFAULT_INTERVAL_STEPS = 50
+
+#: Default thermal-mass lag tolerance, degC.  The sink node relaxes with
+#: a multi-second time constant while entry air can move within one
+#: step, so ``sink >= ambient`` only holds up to the transient lag; the
+#: same applies to chip vs its target.  5 degC comfortably bounds the
+#: lag for every calibrated topology while still catching real ordering
+#: bugs, which show up as tens of degrees.
+DEFAULT_LAG_TOLERANCE_C = 5.0
+
+#: Default slack on the power envelope, W.
+DEFAULT_POWER_TOLERANCE_W = 0.5
+
+#: Extra chip-temperature headroom assumed when sizing the leakage
+#: margin of the power upper bound, degC.
+_LEAKAGE_HEADROOM_C = 15.0
+
+#: Absolute slack for exact (non-lag) comparisons.
+_EPS = 1e-9
+
+
+class InvariantViolation(SimulationError):
+    """A runtime invariant failed during a simulation step.
+
+    Attributes:
+        invariant: Short name of the violated invariant.
+        step: Engine step index at which the audit fired.
+        socket_id: Offending socket, or ``None`` for global invariants
+            (e.g. energy monotonicity).
+        value: The offending value.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        step: int,
+        socket_id: Optional[int],
+        value: float,
+        detail: str,
+    ):
+        self.invariant = invariant
+        self.step = step
+        self.socket_id = socket_id
+        self.value = value
+        self.detail = detail
+        where = (
+            f"socket {socket_id}" if socket_id is not None else "global"
+        )
+        super().__init__(
+            f"invariant '{invariant}' violated at step {step} "
+            f"({where}): {detail}"
+        )
+
+    def __reduce__(self):
+        # Default exception pickling would replay ``args`` (the single
+        # formatted message) into the five-argument constructor; rebuild
+        # from the structured fields so violations cross process
+        # boundaries intact.
+        return (
+            InvariantViolation,
+            (
+                self.invariant,
+                self.step,
+                self.socket_id,
+                self.value,
+                self.detail,
+            ),
+        )
+
+
+class InvariantAuditor:
+    """Periodic physical-consistency checker for one simulation run.
+
+    An auditor is stateful (it tracks the last audited cumulative
+    energy), so use a fresh instance per run — the engine treats the
+    instance as owned by the run it is passed to.
+
+    Attributes:
+        interval_steps: Audit every this many engine steps.
+        lag_tolerance_c: Allowed transient lag in the
+            ``ambient <= sink <= chip`` ordering, degC.
+        power_tolerance_w: Slack on the per-socket power envelope, W.
+        n_audits: Number of audits performed so far.
+    """
+
+    def __init__(
+        self,
+        interval_steps: int = DEFAULT_INTERVAL_STEPS,
+        lag_tolerance_c: float = DEFAULT_LAG_TOLERANCE_C,
+        power_tolerance_w: float = DEFAULT_POWER_TOLERANCE_W,
+    ):
+        if interval_steps < 1:
+            raise SimulationError(
+                f"audit interval must be >= 1 step, got {interval_steps}"
+            )
+        if lag_tolerance_c < 0 or power_tolerance_w < 0:
+            raise SimulationError("audit tolerances must be non-negative")
+        self.interval_steps = interval_steps
+        self.lag_tolerance_c = lag_tolerance_c
+        self.power_tolerance_w = power_tolerance_w
+        self.n_audits = 0
+        self._last_energy_j = 0.0
+
+    def check(self, state, step: int, energy_j: float) -> None:
+        """Audit the state after engine step ``step``.
+
+        Args:
+            state: The engine's :class:`~repro.sim.state.
+                SimulationState`.
+            step: Current step index (for error context).
+            energy_j: Cumulative measured energy so far, joules.
+
+        Raises:
+            InvariantViolation: on the first violated invariant.
+        """
+        topology = state.topology
+        params = state.params
+        chip = state.chip_c
+        sink = state.sink_c
+        ambient = state.ambient_c
+        power = state.power_w
+        remaining = state.remaining_work_ms
+
+        self._check_finite("chip temperature", chip, step)
+        self._check_finite("sink temperature", sink, step)
+        self._check_finite("ambient temperature", ambient, step)
+        self._check_finite("power", power, step)
+        self._check_finite("remaining work", remaining, step)
+
+        self._check_lower(
+            "ambient >= inlet", ambient, params.inlet_c - _EPS, step
+        )
+        lag = self.lag_tolerance_c
+        self._check_pair(
+            "sink >= ambient - lag", sink, ambient - lag, step
+        )
+        self._check_pair("chip >= sink - lag", chip, sink - lag, step)
+
+        tol = self.power_tolerance_w
+        gated = topology.gated_power_array
+        upper = self._power_upper_bound(topology, params)
+        low_bad = power < gated - tol
+        if low_bad.any():
+            socket = int(np.argmax(low_bad))
+            raise InvariantViolation(
+                "power >= gated",
+                step,
+                socket,
+                float(power[socket]),
+                f"power {power[socket]:.3f} W below gated floor "
+                f"{gated[socket]:.3f} W",
+            )
+        high_bad = power > upper + tol
+        if high_bad.any():
+            socket = int(np.argmax(high_bad))
+            raise InvariantViolation(
+                "power <= tdp + leakage margin",
+                step,
+                socket,
+                float(power[socket]),
+                f"power {power[socket]:.3f} W exceeds envelope "
+                f"{upper[socket]:.3f} W",
+            )
+
+        neg = remaining < -_EPS
+        if neg.any():
+            socket = int(np.argmax(neg))
+            raise InvariantViolation(
+                "remaining work >= 0",
+                step,
+                socket,
+                float(remaining[socket]),
+                f"remaining work {remaining[socket]:.6f} ms is negative",
+            )
+        idle_with_work = (~state.busy) & (np.abs(remaining) > _EPS)
+        if idle_with_work.any():
+            socket = int(np.argmax(idle_with_work))
+            raise InvariantViolation(
+                "idle sockets carry no work",
+                step,
+                socket,
+                float(remaining[socket]),
+                f"idle socket holds {remaining[socket]:.6f} ms of work",
+            )
+
+        if energy_j < self._last_energy_j - _EPS:
+            raise InvariantViolation(
+                "energy monotone",
+                step,
+                None,
+                float(energy_j),
+                f"cumulative energy fell from {self._last_energy_j:.6f} "
+                f"to {energy_j:.6f} J",
+            )
+        self._last_energy_j = energy_j
+        self.n_audits += 1
+
+    @staticmethod
+    def _power_upper_bound(topology, params) -> np.ndarray:
+        """Per-socket power envelope: TDP plus a hot-leakage margin."""
+        from ..workloads.power_model import leakage_power
+
+        tdp = topology.tdp_array
+        margin = leakage_power(
+            params.temperature_limit_c + _LEAKAGE_HEADROOM_C, 1.0
+        )
+        return tdp * (1.0 + margin)
+
+    @staticmethod
+    def _check_finite(
+        name: str, values: np.ndarray, step: int
+    ) -> None:
+        bad = ~np.isfinite(values)
+        if bad.any():
+            socket = int(np.argmax(bad))
+            raise InvariantViolation(
+                f"finite {name}",
+                step,
+                socket,
+                float(values[socket]),
+                f"{name} is {values[socket]}",
+            )
+
+    @staticmethod
+    def _check_lower(
+        name: str, values: np.ndarray, floor: float, step: int
+    ) -> None:
+        bad = values < floor
+        if bad.any():
+            socket = int(np.argmax(bad))
+            raise InvariantViolation(
+                name,
+                step,
+                socket,
+                float(values[socket]),
+                f"value {values[socket]:.4f} below bound {floor:.4f}",
+            )
+
+    @staticmethod
+    def _check_pair(
+        name: str,
+        values: np.ndarray,
+        bounds: np.ndarray,
+        step: int,
+    ) -> None:
+        bad = values < bounds
+        if bad.any():
+            socket = int(np.argmax(bad))
+            raise InvariantViolation(
+                name,
+                step,
+                socket,
+                float(values[socket]),
+                f"value {values[socket]:.4f} below bound "
+                f"{bounds[socket]:.4f}",
+            )

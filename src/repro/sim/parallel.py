@@ -1,0 +1,283 @@
+"""Parallel sweep execution over a process pool, with memoisation.
+
+Every figure in the paper is a sweep over (scheduler x benchmark set x
+load) and each point is an independent simulation, so the sweep is
+embarrassingly parallel.  This module fans the points of a sweep out
+over a :class:`concurrent.futures.ProcessPoolExecutor` while keeping
+the results bit-identical to serial execution:
+
+- each point's workload stream is derived deterministically from the
+  simulation parameters' seed (never from worker identity, submission
+  order or wall-clock), so a point computes the same result no matter
+  which process runs it or when;
+- results are collected back in submission order;
+- execution falls back to the plain serial loop when ``max_workers <=
+  1``, when there is only one point to run, when the platform cannot
+  ``fork`` (the only start method that is both cheap and inherits the
+  loaded modules), or when the pool fails to come up.
+
+A process-wide :class:`SweepCache` memoises results keyed on the full
+configuration (topology, parameters, scheduler name, benchmark set,
+load), so repeated figure runs in one process — e.g. Figure 14 and
+Figure 15 share their entire grid — skip identical configurations.
+Cached results are returned by reference; callers must treat
+:class:`~repro.sim.results.SimulationResult` objects as read-only
+(which every experiment already does).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config.parameters import SimulationParameters
+from ..server.topology import ServerTopology
+from ..workloads.benchmark import BenchmarkSet
+from .invariants import DEFAULT_INTERVAL_STEPS
+from .results import SimulationResult
+
+#: One sweep point: (scheduler name, benchmark set, load).
+SweepPoint = Tuple[str, BenchmarkSet, float]
+
+
+def topology_token(topology: ServerTopology) -> bytes:
+    """A stable byte string identifying a topology's full geometry.
+
+    Two topologies with equal tokens produce identical simulations for
+    equal parameters: the token covers the grid shape, the processor,
+    the per-socket sink arrays and the assembled coupling matrix.
+    """
+    scalars = (
+        type(topology).__name__,
+        topology.n_rows,
+        topology.lanes_per_row,
+        topology.chain_length,
+        topology.sockets_per_cartridge_depth,
+        topology.socket_airflow_cfm,
+        topology.mixing_factor,
+        topology.intra_cartridge_decay,
+        topology.inter_cartridge_decay,
+        repr(topology.processor),
+    )
+    parts = [repr(scalars).encode()]
+    for array in (
+        topology.r_ext_array,
+        topology.theta_offset_array,
+        topology.theta_slope_array,
+        topology.tdp_array,
+        topology.gated_power_array,
+        topology.coupling.matrix,
+    ):
+        parts.append(array.tobytes())
+    return b"|".join(parts)
+
+
+def config_key(
+    topology: ServerTopology,
+    params: SimulationParameters,
+    scheduler_name: str,
+    benchmark_set: BenchmarkSet,
+    load: float,
+) -> str:
+    """Memo-cache key for one fully specified sweep point."""
+    digest = hashlib.sha256()
+    digest.update(topology_token(topology))
+    digest.update(repr(params).encode())
+    digest.update(
+        f"|{scheduler_name}|{benchmark_set.value}|{load!r}".encode()
+    )
+    return digest.hexdigest()
+
+
+class SweepCache:
+    """Process-local memo cache for sweep results.
+
+    Attributes:
+        hits: Lookups answered from the cache.
+        misses: Lookups that fell through to a simulation run.
+    """
+
+    def __init__(self):
+        self._store: Dict[str, SimulationResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, counting the lookup."""
+        result = self._store.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store a result under its configuration key."""
+        self._store[key] = result
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: Shared per-process cache used by ``use_cache=True`` sweeps.
+shared_cache = SweepCache()
+
+
+def clear_shared_cache() -> None:
+    """Empty the process-wide sweep cache (tests, memory pressure)."""
+    shared_cache.clear()
+
+
+def _run_point(
+    topology: ServerTopology,
+    params: SimulationParameters,
+    point: SweepPoint,
+    audit: bool,
+    audit_interval: int,
+) -> SimulationResult:
+    """Execute one sweep point; runs in workers and in the serial path.
+
+    The scheduler is constructed *inside* the executing process from its
+    registered name, so stateful policies always start fresh and no
+    policy object ever crosses a process boundary.
+    """
+    from ..core import get_scheduler  # local import: avoids cycle
+    from .runner import run_once
+
+    name, benchmark_set, load = point
+    auditor = None
+    if audit:
+        from .invariants import InvariantAuditor
+
+        auditor = InvariantAuditor(interval_steps=audit_interval)
+    return run_once(
+        topology,
+        params,
+        get_scheduler(name),
+        benchmark_set,
+        load,
+        auditor=auditor,
+    )
+
+
+def _fork_available() -> bool:
+    """Whether the cheap ``fork`` start method exists on this platform."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def execute_sweep(
+    topology: ServerTopology,
+    params: SimulationParameters,
+    points: Sequence[SweepPoint],
+    max_workers: int = 1,
+    audit: bool = False,
+    audit_interval: int = DEFAULT_INTERVAL_STEPS,
+    cache: Optional[SweepCache] = None,
+) -> List[SimulationResult]:
+    """Run every sweep point, in parallel where possible.
+
+    Args:
+        topology: Server geometry shared by every point.
+        params: Simulation parameters shared by every point (each
+            point's workload is re-derived from ``params.seed``, so
+            results are independent of execution order).
+        points: The (scheduler name, benchmark set, load) grid.
+        max_workers: Process count; ``1`` forces the serial path.
+        audit: Run each point under a fresh
+            :class:`~repro.sim.invariants.InvariantAuditor`.
+        audit_interval: Audit cadence in engine steps.
+        cache: Optional memo cache consulted before and filled after
+            execution.
+
+    Returns:
+        One :class:`~repro.sim.results.SimulationResult` per point, in
+        the order given.
+
+    Raises:
+        SimulationError: propagated from any point (including
+            :class:`~repro.sim.invariants.InvariantViolation` raised
+            inside a worker process).
+    """
+    results: List[Optional[SimulationResult]] = [None] * len(points)
+    pending: List[int] = []
+    keys: List[Optional[str]] = [None] * len(points)
+    for i, point in enumerate(points):
+        if cache is not None:
+            keys[i] = config_key(topology, params, *point)
+            hit = cache.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    if pending:
+        workers = min(int(max_workers), len(pending))
+        if workers > 1 and _fork_available():
+            computed = _run_pool(
+                topology,
+                params,
+                [points[i] for i in pending],
+                workers,
+                audit,
+                audit_interval,
+            )
+        else:
+            computed = [
+                _run_point(
+                    topology, params, points[i], audit, audit_interval
+                )
+                for i in pending
+            ]
+        for i, result in zip(pending, computed):
+            results[i] = result
+            if cache is not None:
+                cache.put(keys[i], result)
+    return results  # type: ignore[return-value]
+
+
+def _run_pool(
+    topology: ServerTopology,
+    params: SimulationParameters,
+    points: Sequence[SweepPoint],
+    workers: int,
+    audit: bool,
+    audit_interval: int,
+) -> List[SimulationResult]:
+    """Fan points out over a fork-based process pool, in order.
+
+    Falls back to the serial loop if the pool cannot be created (e.g.
+    sandboxes that expose ``fork`` but forbid new processes).
+    """
+    context = multiprocessing.get_context("fork")
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_point,
+                    topology,
+                    params,
+                    point,
+                    audit,
+                    audit_interval,
+                )
+                for point in points
+            ]
+            return [future.result() for future in futures]
+    except (OSError, PermissionError):
+        return [
+            _run_point(topology, params, point, audit, audit_interval)
+            for point in points
+        ]

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..config.parameters import SimulationParameters
 from ..server.topology import ServerTopology
 from ..workloads.arrivals import ArrivalProcess
 from ..workloads.benchmark import BenchmarkSet
 from .engine import Simulation
+from .invariants import DEFAULT_INTERVAL_STEPS
 from .results import SimulationResult
 
 
@@ -18,12 +19,23 @@ def run_once(
     scheduler,
     benchmark_set: BenchmarkSet,
     load: float,
+    auditor=None,
 ) -> SimulationResult:
     """Run one (scheduler, benchmark set, load) configuration.
 
     The job stream is generated from the parameters' seed, so every
     scheduler evaluated with the same ``params`` sees the *identical*
     workload — the paper's comparison methodology.
+
+    Args:
+        topology: Server geometry.
+        params: Simulation parameters (the seed fixes the workload).
+        scheduler: Placement policy instance.
+        benchmark_set: Workload set to draw jobs from.
+        load: Offered load in (0, 1].
+        auditor: Optional fresh :class:`~repro.sim.invariants.
+            InvariantAuditor` checking physical invariants during the
+            run.
     """
     arrivals = ArrivalProcess(
         benchmark_set=benchmark_set,
@@ -33,7 +45,9 @@ def run_once(
         duration_scale=params.duration_scale,
     )
     jobs = arrivals.generate(params.sim_time_s)
-    return Simulation(topology, params, scheduler).run(jobs)
+    return Simulation(
+        topology, params, scheduler, auditor=auditor
+    ).run(jobs)
 
 
 def run_sweep(
@@ -42,21 +56,58 @@ def run_sweep(
     scheduler_names: Sequence[str],
     benchmark_sets: Sequence[BenchmarkSet],
     loads: Sequence[float],
+    max_workers: int = 1,
+    audit: bool = False,
+    audit_interval: int = DEFAULT_INTERVAL_STEPS,
+    use_cache: bool = False,
+    cache=None,
 ) -> Dict[Tuple[str, BenchmarkSet, float], SimulationResult]:
     """Run the full cross product of schedulers, sets and loads.
+
+    Each grid point is an independent simulation whose workload derives
+    only from ``params.seed``, so the sweep parallelises without
+    changing a single bit of any result: ``max_workers=4`` returns
+    metrics identical to the serial path (see
+    :mod:`repro.sim.parallel`).
+
+    Args:
+        topology: Server geometry shared by every point.
+        params: Simulation parameters shared by every point.
+        scheduler_names: Registered policy names to evaluate.
+        benchmark_sets: Workload sets to evaluate.
+        loads: Load levels in (0, 1].
+        max_workers: Simulations to run concurrently; ``1`` (default)
+            keeps the classic serial loop.
+        audit: Run every point under a fresh
+            :class:`~repro.sim.invariants.InvariantAuditor`.
+        audit_interval: Audit cadence in engine steps.
+        use_cache: Memoise results in the process-wide
+            :data:`repro.sim.parallel.shared_cache` so repeated sweeps
+            over identical configurations skip the simulation.
+        cache: Explicit :class:`~repro.sim.parallel.SweepCache`
+            overriding ``use_cache``.
 
     Returns:
         Mapping from ``(scheduler name, benchmark set, load)`` to the
         run's :class:`SimulationResult`.
     """
-    from ..core import get_scheduler  # local import: avoids cycle
+    from .parallel import execute_sweep, shared_cache
 
-    results: Dict[Tuple[str, BenchmarkSet, float], SimulationResult] = {}
-    for benchmark_set in benchmark_sets:
-        for load in loads:
-            for name in scheduler_names:
-                scheduler = get_scheduler(name)
-                results[(name, benchmark_set, load)] = run_once(
-                    topology, params, scheduler, benchmark_set, load
-                )
-    return results
+    points = [
+        (name, benchmark_set, load)
+        for benchmark_set in benchmark_sets
+        for load in loads
+        for name in scheduler_names
+    ]
+    if cache is None and use_cache:
+        cache = shared_cache
+    results = execute_sweep(
+        topology,
+        params,
+        points,
+        max_workers=max_workers,
+        audit=audit,
+        audit_interval=audit_interval,
+        cache=cache,
+    )
+    return dict(zip(points, results))
