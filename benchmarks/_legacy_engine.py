@@ -1,0 +1,236 @@
+"""Frozen copy of the pre-pipeline monolithic engine.
+
+This module preserves the engine exactly as it stood before the
+step-pipeline refactor — one monolithic ``run`` loop plus the
+state-by-state DVFS ladder walk — so ``bench_step_pipeline.py`` can
+measure the refactor's speedup against the real historical baseline
+instead of a synthetic stand-in.  It reuses the live repro modules for
+everything the refactor did *not* restructure (state, results, thermal
+state container, workload models), and keeps local copies of the two
+hot paths the refactor replaced:
+
+- ``_legacy_select_frequencies`` — the per-DVFS-state Python loop that
+  re-derived power and predicted temperature once per ladder state;
+- ``LegacySimulation.run`` — the monolithic step loop calling
+  ``TwoNodeThermalState.step`` (six temporaries per call) instead of
+  the fused ``step_decayed``.
+
+Do not use this for experiments; it exists only as a benchmark
+reference and for the bit-identity cross-check inside the benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.config.parameters import SimulationParameters
+from repro.errors import SimulationError
+from repro.server.topology import ServerTopology
+from repro.sim.engine import _warm_start
+from repro.sim.power_manager import (
+    dynamic_power,
+    predicted_chip_temperature,
+)
+from repro.sim.results import SimulationResult
+from repro.sim.state import SimulationState
+from repro.workloads.job import Job
+from repro.workloads.power_model import leakage_power
+
+
+def _legacy_select_frequencies(
+    sink_c,
+    chip_c,
+    dyn_max_w,
+    dyn_exp,
+    tdp_w,
+    theta_offset,
+    theta_slope,
+    ladder,
+    params,
+):
+    """The historical bottom-up ladder walk (one pass per DVFS state)."""
+    leak = leakage_power(chip_c, 1.0) * tdp_w
+    freq = np.full(sink_c.shape, float(ladder.min_mhz))
+    for state in ladder.states_mhz:
+        power = dynamic_power(state, dyn_max_w, dyn_exp, ladder.max_mhz)
+        power = power + leak
+        chip_eq = predicted_chip_temperature(
+            sink_c, power, params.r_int, theta_offset, theta_slope
+        )
+        allowed = chip_eq <= params.temperature_limit_c
+        if ladder.is_boost(state):
+            allowed &= chip_eq <= params.boost_chip_temp_limit_c
+        freq = np.where(allowed, float(state), freq)
+    return freq
+
+
+def _leakage(chip_c: np.ndarray, tdp_w: np.ndarray) -> np.ndarray:
+    return leakage_power(chip_c, 1.0) * tdp_w
+
+
+class LegacySimulation:
+    """The pre-refactor monolithic engine (no migration/fan/trace/audit
+
+    hooks — the benchmark exercises the always-on hot path only).
+    """
+
+    def __init__(
+        self,
+        topology: ServerTopology,
+        params: SimulationParameters,
+        scheduler,
+    ):
+        self.topology = topology
+        self.params = params
+        self.scheduler = scheduler
+
+    def run(self, jobs: Sequence[Job]) -> SimulationResult:
+        topology = self.topology
+        params = self.params
+        state = SimulationState(topology, params)
+        rng = np.random.default_rng(params.seed + 0x5EED)
+        self.scheduler.reset(state, rng)
+
+        ladder = state.ladder
+        max_mhz = float(ladder.max_mhz)
+        span_mhz = float(ladder.max_mhz - ladder.min_mhz)
+        sustained = float(ladder.sustained_mhz)
+        dt = params.power_manager_interval_s
+        dt_ms = dt * 1000.0
+        n_steps = int(round(params.sim_time_s / dt))
+        warmup = params.warmup_s
+        history_alpha = 1.0 - np.exp(-dt / params.history_tau_s)
+
+        r_ext = topology.r_ext_array
+        theta_off = topology.theta_offset_array
+        theta_slope = topology.theta_slope_array
+        gated_power = topology.gated_power_array
+        tdp = topology.tdp_array
+        coupling = topology.coupling
+        inlet = params.inlet_c
+
+        result = SimulationResult(
+            scheduler_name=getattr(self.scheduler, "name", "unknown"),
+            params=params,
+            topology=topology,
+            n_jobs_submitted=len(jobs),
+            measured_span_s=params.measured_span_s,
+        )
+
+        ordered = sorted(jobs, key=lambda job: job.arrival_s)
+        if params.warm_start and ordered:
+            _warm_start(state, ordered)
+        pointer = 0
+        queue: deque = deque()
+
+        for step in range(n_steps):
+            t = step * dt
+            state.time_s = t
+
+            while (
+                pointer < len(ordered)
+                and ordered[pointer].arrival_s <= t
+            ):
+                queue.append(ordered[pointer])
+                pointer += 1
+            if len(queue) > result.max_queue_length:
+                result.max_queue_length = len(queue)
+
+            if queue:
+                idle = state.idle_socket_ids()
+                while queue and idle.size:
+                    job = queue.popleft()
+                    socket_id = int(
+                        self.scheduler.select_socket(job, idle, state)
+                    )
+                    state.assign(job, socket_id)
+                    idle = idle[idle != socket_id]
+
+            freq = _legacy_select_frequencies(
+                sink_c=state.sink_c,
+                chip_c=state.chip_c,
+                dyn_max_w=state.dyn_max_w,
+                dyn_exp=state.dyn_exp,
+                tdp_w=tdp,
+                theta_offset=theta_off,
+                theta_slope=theta_slope,
+                ladder=ladder,
+                params=params,
+            )
+            state.freq_mhz = np.where(
+                state.busy, freq, float(ladder.min_mhz)
+            )
+            busy_power = (
+                dynamic_power(
+                    state.freq_mhz, state.dyn_max_w, state.dyn_exp, max_mhz
+                )
+                + _leakage(state.chip_c, tdp)
+            )
+            power = np.where(state.busy, busy_power, gated_power)
+            state.power_w = power
+
+            rate = 1.0 - state.perf_drop * (max_mhz - state.freq_mhz) / (
+                span_mhz if span_mhz > 0 else 1.0
+            )
+            done_ms = rate * dt_ms
+            busy_frac = state.busy.astype(float)
+            retired = np.where(state.busy, done_ms, 0.0)
+            completing = state.busy & (
+                state.remaining_work_ms <= done_ms
+            )
+            in_window = t >= warmup
+            if completing.any():
+                for socket_id in np.nonzero(completing)[0]:
+                    remaining = state.remaining_work_ms[socket_id]
+                    frac = remaining / done_ms[socket_id]
+                    retired[socket_id] = remaining
+                    busy_frac[socket_id] = frac
+                    power[socket_id] = (
+                        power[socket_id] * frac
+                        + gated_power[socket_id] * (1.0 - frac)
+                    )
+                    job = state.release(socket_id)
+                    job.finish_s = t + frac * dt
+                    if in_window:
+                        result.completed_jobs.append(job)
+            running = state.busy
+            state.remaining_work_ms[running] -= done_ms[running]
+
+            sink_heat = state.thermal.sink_heat_output_w(
+                state.ambient_c, r_ext
+            )
+            rises = coupling.entry_temperatures(inlet, sink_heat) - inlet
+            state.ambient_c = inlet + rises
+            theta = theta_off + theta_slope * power
+            state.thermal.step(
+                dt, state.ambient_c, power, params.r_int, r_ext, theta
+            )
+            state.history_c += history_alpha * (
+                state.chip_c - state.history_c
+            )
+            state.busy_ema += history_alpha * (
+                state.busy - state.busy_ema
+            )
+
+            if in_window:
+                result.energy_j += float(power.sum()) * dt
+                result.work_done += retired
+                result.busy_time_s += busy_frac * dt
+                rel = state.freq_mhz / max_mhz
+                result.freq_time_product += rel * busy_frac * dt
+                result.boost_time_s += (
+                    (state.freq_mhz > sustained) & (busy_frac > 0)
+                ) * busy_frac * dt
+                np.maximum(
+                    result.max_chip_c, state.chip_c, out=result.max_chip_c
+                )
+
+        if not result.completed_jobs:
+            raise SimulationError(
+                "no jobs completed in the measurement window; increase "
+                "sim_time_s or the offered load"
+            )
+        return result

@@ -17,6 +17,7 @@ import argparse
 import sys
 from typing import List
 
+from ._version import __version__
 from .core import all_scheduler_names
 from .experiments.registry import (
     all_experiments,
@@ -156,6 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Understanding the Impact of Socket "
             "Density in Density Optimized Servers' (HPCA 2019)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -23,16 +23,16 @@ class Balanced(Scheduler):
         super().__init__()
         self._positions: np.ndarray = np.zeros((0, 3))
 
-    def reset(self, state, rng) -> None:
-        super().reset(state, rng)
-        topology = state.topology
+    def reset(self, view, rng) -> None:
+        super().reset(view, rng)
+        topology = view.topology
         self._positions = np.stack(
             [topology.x_array, topology.y_array, topology.z_array], axis=1
         )
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
-        hottest = int(np.argmax(state.chip_c))
+        hottest = int(np.argmax(view.chip_c))
         deltas = self._positions[idle_ids] - self._positions[hottest]
         distances = np.sqrt((deltas**2).sum(axis=1))
         return int(idle_ids[int(np.argmax(distances))])
@@ -48,9 +48,9 @@ class BalancedLocations(Scheduler):
 
     name = "Balanced-L"
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
-        x = state.topology.x_array[idle_ids]
+        x = view.topology.x_array[idle_ids]
         # Chip temperature only breaks ties between equal-x sockets.
-        score = x + 1e-4 * state.chip_c[idle_ids]
+        score = x + 1e-4 * view.chip_c[idle_ids]
         return int(idle_ids[int(np.argmin(score))])

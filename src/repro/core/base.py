@@ -10,7 +10,7 @@ import numpy as np
 from ..errors import SchedulingError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..sim.state import SimulationState
+    from ..sim.view import SchedulerView
     from ..workloads.job import Job
 
 
@@ -19,8 +19,12 @@ class Scheduler(abc.ABC):
 
     The engine calls :meth:`reset` once per run and then
     :meth:`select_socket` for every placement decision.  Policies must
-    be deterministic given the RNG handed to :meth:`reset`, and must
-    treat the simulation state as read-only.
+    be deterministic given the RNG handed to :meth:`reset`.
+
+    Both hooks observe the simulation through a
+    :class:`~repro.sim.view.SchedulerView` — a read-only facade whose
+    numpy arrays are non-writeable, so an accidental in-place mutation
+    of engine state raises instead of silently corrupting the run.
     """
 
     #: Registry name; subclasses override.
@@ -30,7 +34,7 @@ class Scheduler(abc.ABC):
         self.rng: np.random.Generator = np.random.default_rng(0)
 
     def reset(
-        self, state: "SimulationState", rng: np.random.Generator
+        self, view: "SchedulerView", rng: np.random.Generator
     ) -> None:
         """Prepare for a fresh run (precompute topology-derived data)."""
         self.rng = rng
@@ -40,14 +44,14 @@ class Scheduler(abc.ABC):
         self,
         job: "Job",
         idle_ids: np.ndarray,
-        state: "SimulationState",
+        view: "SchedulerView",
     ) -> int:
         """Choose one of ``idle_ids`` for ``job``.
 
         Args:
             job: The job to place.
             idle_ids: Indices of currently idle sockets (non-empty).
-            state: Read-only simulation state.
+            view: Read-only view of the simulation.
 
         Returns:
             The chosen socket index (must come from ``idle_ids``).

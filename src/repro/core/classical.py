@@ -24,7 +24,7 @@ class FirstFit(Scheduler):
 
     name = "FirstFit"
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
         return int(idle_ids.min())
 
@@ -39,18 +39,18 @@ class RoundRobin(Scheduler):
         super().__init__()
         self._next = 0
 
-    def reset(self, state, rng) -> None:
-        super().reset(state, rng)
+    def reset(self, view, rng) -> None:
+        super().reset(view, rng)
         self._next = 0
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
         # First idle socket at or after the rotation pointer.
         candidates = idle_ids[idle_ids >= self._next]
         chosen = int(
             candidates.min() if candidates.size else idle_ids.min()
         )
-        self._next = (chosen + 1) % state.n_sockets
+        self._next = (chosen + 1) % view.n_sockets
         return chosen
 
 
@@ -64,12 +64,12 @@ class LeastRecentlyUsed(Scheduler):
         super().__init__()
         self._last_used: np.ndarray = np.zeros(0)
 
-    def reset(self, state, rng) -> None:
-        super().reset(state, rng)
-        self._last_used = np.full(state.n_sockets, -np.inf)
+    def reset(self, view, rng) -> None:
+        super().reset(view, rng)
+        self._last_used = np.full(view.n_sockets, -np.inf)
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
         chosen = int(idle_ids[int(np.argmin(self._last_used[idle_ids]))])
-        self._last_used[chosen] = state.time_s
+        self._last_used[chosen] = view.time_s
         return chosen

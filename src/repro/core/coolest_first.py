@@ -9,8 +9,6 @@ have no downwind victims) keeps upstream air cool.
 
 from __future__ import annotations
 
-import numpy as np
-
 from .base import Scheduler, register_scheduler
 
 
@@ -20,10 +18,10 @@ class CoolestFirst(Scheduler):
 
     name = "CF"
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
-        temps = state.chip_c[idle_ids]
-        return int(idle_ids[int(np.argmin(temps))])
+        temps = view.chip_c[idle_ids]
+        return int(idle_ids[int(temps.argmin())])
 
 
 @register_scheduler
@@ -32,7 +30,7 @@ class HottestFirst(Scheduler):
 
     name = "HF"
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
-        temps = state.chip_c[idle_ids]
-        return int(idle_ids[int(np.argmax(temps))])
+        temps = view.chip_c[idle_ids]
+        return int(idle_ids[int(temps.argmax())])

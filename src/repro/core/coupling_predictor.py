@@ -53,35 +53,35 @@ class CouplingPredictor(Scheduler):
         self.row_restricted = row_restricted
         self.coupling_aware = coupling_aware
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
-        candidates = self._candidate_pool(idle_ids, state)
-        freq = predict_job_frequency(state, candidates, job)
+        candidates = self._candidate_pool(idle_ids, view)
+        freq = predict_job_frequency(view, candidates, job)
         scores = np.empty(candidates.shape, dtype=float)
-        topology = state.topology
+        topology = view.topology
         for i, (socket, f_mhz) in enumerate(zip(candidates, freq)):
             socket = int(socket)
-            power = predicted_job_power(state, socket, job, float(f_mhz))
+            power = predicted_job_power(view, socket, job, float(f_mhz))
             slowdown = 0.0
             if self.coupling_aware:
-                slowdown = predict_downwind_slowdown(state, socket, power)
+                slowdown = predict_downwind_slowdown(view, socket, power)
             sink_ss = (
-                state.ambient_c[socket]
+                view.ambient_c[socket]
                 + power * topology.r_ext_array[socket]
             )
             scores[i] = (
                 float(f_mhz)
                 - slowdown
                 - SINK_TIEBREAK_WEIGHT
-                * (sink_ss + float(state.sink_c[socket]))
+                * (sink_ss + float(view.sink_c[socket]))
             )
         return int(candidates[int(np.argmax(scores))])
 
-    def _candidate_pool(self, idle_ids, state) -> np.ndarray:
+    def _candidate_pool(self, idle_ids, view) -> np.ndarray:
         """Idle sockets of one random row, or all idle sockets."""
         if not self.row_restricted:
             return idle_ids
-        rows = state.topology.row_array[idle_ids]
+        rows = view.topology.row_array[idle_ids]
         unique_rows = np.unique(rows)
         chosen = unique_rows[self.rng.integers(0, unique_rows.size)]
         return idle_ids[rows == chosen]

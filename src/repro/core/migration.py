@@ -25,7 +25,7 @@ from .prediction import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..sim.state import SimulationState
+    from ..sim.view import SchedulerView
 
 
 @dataclass
@@ -75,53 +75,53 @@ class MigrationPolicy:
         if self.max_moves_per_round < 1:
             raise SchedulingError("max moves must be >= 1")
 
-    def propose(self, state: "SimulationState") -> List[Tuple[int, int]]:
+    def propose(self, view: "SchedulerView") -> List[Tuple[int, int]]:
         """Propose (source, destination) socket moves.
 
         Destinations are idle sockets; each destination is used at most
         once per round, and a job is only moved when the predicted
         frequency gain clears ``min_gain_mhz``.
         """
-        idle = state.idle_socket_ids()
+        idle = view.idle_socket_ids()
         if idle.size == 0:
             return []
-        eligible = state.busy & (
-            state.remaining_work_ms >= self.min_remaining_ms
+        eligible = view.busy & (
+            view.remaining_work_ms >= self.min_remaining_ms
         )
         if self.only_below_sustained:
-            eligible &= state.freq_mhz < float(
-                state.ladder.sustained_mhz
+            eligible &= view.freq_mhz < float(
+                view.ladder.sustained_mhz
             )
         candidates = np.nonzero(eligible)[0]
         if candidates.size == 0:
             return []
 
         # Most-throttled jobs first: they have the most to gain.
-        candidates = candidates[np.argsort(state.freq_mhz[candidates])]
+        candidates = candidates[np.argsort(view.freq_mhz[candidates])]
         moves: List[Tuple[int, int]] = []
-        taken = np.zeros(state.n_sockets, dtype=bool)
+        taken = np.zeros(view.n_sockets, dtype=bool)
         for source in candidates:
             if len(moves) >= self.max_moves_per_round:
                 break
-            job = state.running_jobs[source]
+            job = view.running_jobs[source]
             if job is None:
                 continue
             available = idle[~taken[idle]]
             if available.size == 0:
                 break
-            predicted = predict_job_frequency(state, available, job)
+            predicted = predict_job_frequency(view, available, job)
             scores = np.empty(available.shape, dtype=float)
             for i, (dest, f_mhz) in enumerate(
                 zip(available, predicted)
             ):
                 power = predicted_job_power(
-                    state, int(dest), job, float(f_mhz)
+                    view, int(dest), job, float(f_mhz)
                 )
                 scores[i] = float(f_mhz) - predict_downwind_slowdown(
-                    state, int(dest), power
+                    view, int(dest), power
                 )
             best = int(np.argmax(scores))
-            gain = float(scores[best]) - float(state.freq_mhz[source])
+            gain = float(scores[best]) - float(view.freq_mhz[source])
             if gain >= self.min_gain_mhz:
                 destination = int(available[best])
                 moves.append((int(source), destination))

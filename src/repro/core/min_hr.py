@@ -27,17 +27,17 @@ class MinHR(Scheduler):
         super().__init__()
         self._hr_factor: np.ndarray = np.zeros(0)
 
-    def reset(self, state, rng) -> None:
-        super().reset(state, rng)
-        coupling = state.topology.coupling
+    def reset(self, view, rng) -> None:
+        super().reset(view, rng)
+        coupling = view.topology.coupling
         self._hr_factor = np.array(
             [
                 coupling.total_influence(socket)
-                for socket in range(state.n_sockets)
+                for socket in range(view.n_sockets)
             ]
         )
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
         factors = self._hr_factor[idle_ids]
         minimal = idle_ids[factors <= factors.min() + 1e-12]

@@ -47,13 +47,13 @@ class CoolestNeighbors(Scheduler):
         super().__init__()
         self._neighbors: List[np.ndarray] = []
 
-    def reset(self, state, rng) -> None:
-        super().reset(state, rng)
-        self._neighbors = _build_neighbor_lists(state.topology)
+    def reset(self, view, rng) -> None:
+        super().reset(view, rng)
+        self._neighbors = _build_neighbor_lists(view.topology)
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
-        chip = state.chip_c
+        chip = view.chip_c
         best_socket = int(idle_ids[0])
         best_score = np.inf
         for socket_id in idle_ids:

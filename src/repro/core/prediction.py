@@ -24,12 +24,12 @@ from ..workloads.benchmark import profile_for
 from ..workloads.power_model import LEAKAGE_TDP_FRACTION, leakage_power
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..sim.state import SimulationState
+    from ..sim.view import SchedulerView
     from ..workloads.job import Job
 
 
 def predict_job_frequency(
-    state: "SimulationState",
+    view: "SchedulerView",
     socket_ids: np.ndarray,
     job: "Job",
     sink_c: Optional[np.ndarray] = None,
@@ -37,7 +37,7 @@ def predict_job_frequency(
     """Predicted frequency (MHz) ``job`` would get on each candidate.
 
     Args:
-        state: Simulation state.
+        view: Read-only simulation view.
         socket_ids: Candidate socket indices.
         job: The job being placed.
         sink_c: Optional override of candidate sink temperatures (used
@@ -46,41 +46,41 @@ def predict_job_frequency(
     Returns:
         Array of predicted MHz, aligned with ``socket_ids``.
     """
-    topology = state.topology
+    topology = view.topology
     ids = np.asarray(socket_ids)
     tdp = topology.tdp_array[ids]
     profile = profile_for(job.app.benchmark_set)
     dyn_max = job.app.power_at_max_w - LEAKAGE_TDP_FRACTION * tdp
     dyn_exp = np.full(ids.shape, profile.dynamic_exponent)
     return select_frequencies(
-        sink_c=state.sink_c[ids] if sink_c is None else sink_c,
-        chip_c=state.chip_c[ids],
+        sink_c=view.sink_c[ids] if sink_c is None else sink_c,
+        chip_c=view.chip_c[ids],
         dyn_max_w=dyn_max,
         dyn_exp=dyn_exp,
         tdp_w=tdp,
         theta_offset=topology.theta_offset_array[ids],
         theta_slope=topology.theta_slope_array[ids],
-        ladder=state.ladder,
-        params=state.params,
+        ladder=view.ladder,
+        params=view.params,
     )
 
 
 def predicted_job_power(
-    state: "SimulationState", socket_id: int, job: "Job", freq_mhz: float
+    view: "SchedulerView", socket_id: int, job: "Job", freq_mhz: float
 ) -> float:
     """Power the job would draw on a socket at the predicted frequency."""
-    tdp = float(state.topology.tdp_array[socket_id])
+    tdp = float(view.topology.tdp_array[socket_id])
     profile = profile_for(job.app.benchmark_set)
     dyn_max = job.app.power_at_max_w - LEAKAGE_TDP_FRACTION * tdp
     dyn = dynamic_power(
-        freq_mhz, dyn_max, profile.dynamic_exponent, state.ladder.max_mhz
+        freq_mhz, dyn_max, profile.dynamic_exponent, view.ladder.max_mhz
     )
-    leak = leakage_power(float(state.chip_c[socket_id]), tdp)
+    leak = leakage_power(float(view.chip_c[socket_id]), tdp)
     return float(dyn) + float(leak)
 
 
 def predict_downwind_slowdown(
-    state: "SimulationState", candidate: int, job_power_w: float
+    view: "SchedulerView", candidate: int, job_power_w: float
 ) -> float:
     """Total predicted frequency loss (MHz) across downwind sockets.
 
@@ -92,12 +92,12 @@ def predict_downwind_slowdown(
     Idle downwind sockets contribute nothing (they are gated and their
     future work is unknown).
     """
-    topology = state.topology
+    topology = view.topology
     coupling = topology.coupling
     downwind = coupling.downwind_of(candidate)
     if downwind.size == 0:
         return 0.0
-    busy_down = downwind[state.busy[downwind]]
+    busy_down = downwind[view.busy[downwind]]
     if busy_down.size == 0:
         return 0.0
 
@@ -110,23 +110,23 @@ def predict_downwind_slowdown(
     ambient_delta = weights * heat_delta
 
     common = dict(
-        chip_c=state.chip_c[busy_down],
-        dyn_max_w=state.dyn_max_w[busy_down],
-        dyn_exp=state.dyn_exp[busy_down],
+        chip_c=view.chip_c[busy_down],
+        dyn_max_w=view.dyn_max_w[busy_down],
+        dyn_exp=view.dyn_exp[busy_down],
         tdp_w=topology.tdp_array[busy_down],
         r_ext=topology.r_ext_array[busy_down],
         theta_offset=topology.theta_offset_array[busy_down],
         theta_slope=topology.theta_slope_array[busy_down],
-        ladder=state.ladder,
-        params=state.params,
+        ladder=view.ladder,
+        params=view.params,
     )
     freq_now = select_frequencies_steady(
-        ambient_c=state.ambient_c[busy_down], **common
+        ambient_c=view.ambient_c[busy_down], **common
     )
     freq_later = select_frequencies_steady(
-        ambient_c=state.ambient_c[busy_down] + ambient_delta, **common
+        ambient_c=view.ambient_c[busy_down] + ambient_delta, **common
     )
     losses = np.maximum(freq_now - freq_later, 0.0)
     # A predicted loss only materialises while the victim keeps running
     # work; weight by its observed utilisation.
-    return float((losses * state.busy_ema[busy_down]).sum())
+    return float((losses * view.busy_ema[busy_down]).sum())

@@ -28,29 +28,29 @@ class Predictive(Scheduler):
 
     name = "Predictive"
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
-        freq = predict_job_frequency(state, idle_ids, job)
-        sink_ss = self._sink_steady_state(job, idle_ids, state, freq)
+        freq = predict_job_frequency(view, idle_ids, job)
+        sink_ss = self._sink_steady_state(job, idle_ids, view, freq)
         # Among equal predicted states, prefer the socket whose sink
         # would settle coolest (sustains the state longest) and whose
         # sink is currently freshest (longest boost runway).
         score = freq - SINK_TIEBREAK_WEIGHT * (
-            sink_ss + state.sink_c[idle_ids]
+            sink_ss + view.sink_c[idle_ids]
         )
         return int(idle_ids[int(np.argmax(score))])
 
     @staticmethod
-    def _sink_steady_state(job, idle_ids, state, freq) -> np.ndarray:
+    def _sink_steady_state(job, idle_ids, view, freq) -> np.ndarray:
         """Eventual sink temperature if the job ran indefinitely."""
-        topology = state.topology
+        topology = view.topology
         powers = np.array(
             [
-                predicted_job_power(state, int(socket), job, float(f))
+                predicted_job_power(view, int(socket), job, float(f))
                 for socket, f in zip(idle_ids, freq)
             ]
         )
         return (
-            state.ambient_c[idle_ids]
+            view.ambient_c[idle_ids]
             + powers * topology.r_ext_array[idle_ids]
         )

@@ -23,7 +23,7 @@ class RandomPolicy(Scheduler):
 
     name = "Random"
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
         return int(self.rng.choice(idle_ids))
 
@@ -38,10 +38,10 @@ class AdaptiveRandom(Scheduler):
         super().__init__()
         self.band_c = band_c
 
-    def select_socket(self, job, idle_ids, state) -> int:
+    def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
-        current = state.chip_c[idle_ids]
+        current = view.chip_c[idle_ids]
         cool_now = idle_ids[current <= current.min() + self.band_c]
-        history = state.history_c[cool_now]
+        history = view.history_c[cool_now]
         cool_history = cool_now[history <= history.min() + self.band_c]
         return int(self.rng.choice(cool_history))

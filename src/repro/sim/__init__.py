@@ -1,27 +1,40 @@
 """Discrete-event simulation engine for dense-server scheduling studies.
 
 The engine advances in fixed steps equal to the power-manager interval
-(1 ms in Table III).  Every step it:
+(1 ms in Table III).  Each step runs an ordered pipeline of
+:class:`~repro.sim.pipeline.StepComponent` phases (see
+:mod:`repro.sim.pipeline` and ``docs/architecture.md``):
 
-1. admits newly arrived jobs to the central queue,
-2. lets the scheduling policy place queued jobs onto idle sockets,
-3. runs the power manager — per socket, the highest DVFS state whose
+1. ``ArrivalAdmitter`` — admit newly arrived jobs to the central queue,
+2. ``Placer`` — let the scheduling policy place queued jobs onto idle
+   sockets (policies see a read-only
+   :class:`~repro.sim.view.SchedulerView`),
+3. ``Migrator`` (optional) — periodic thermal-aware job migration,
+4. ``PowerManager`` — per socket, the highest DVFS state whose
    predicted chip temperature stays under the 95 degC limit (boost
    states additionally require headroom under the boost governor
    threshold; see :mod:`repro.sim.power_manager`),
-4. retires work on busy sockets at the frequency-dependent rate and
-   records completions (with sub-step interpolation),
-5. advances the two-node thermal model and the inter-socket coupling
-   chain, and
-6. accumulates metrics once past the warm-up window.
+5. ``WorkRetirer`` — retire work on busy sockets at the
+   frequency-dependent rate and record completions (with sub-step
+   interpolation),
+6. ``FanControl`` (optional) — airflow modulation with load,
+7. ``ThermalUpdater`` — the two-node thermal model and the
+   inter-socket coupling chain,
+8. ``MetricsAccumulator`` — metric accumulation once past the warm-up
+   window,
+9. ``Tracer`` / ``Auditor`` (optional) — time-series sampling and
+   physical-invariant auditing.
 
-All per-socket quantities are numpy arrays, so a step costs a handful of
+All per-socket quantities are numpy arrays — batched over the DVFS
+ladder inside the power manager — so a step costs a fixed handful of
 vector operations regardless of socket count.
 """
 
 from .state import SimulationState
+from .view import SchedulerView
 from .power_manager import select_frequencies, predicted_chip_temperature
-from .engine import Simulation
+from .engine import Engine, Simulation
+from .pipeline import EngineContext, StepComponent, build_pipeline
 from .invariants import InvariantAuditor, InvariantViolation
 from .results import SimulationResult
 from .runner import run_once, run_sweep
@@ -29,8 +42,13 @@ from .parallel import SweepCache, clear_shared_cache, execute_sweep
 
 __all__ = [
     "SimulationState",
+    "SchedulerView",
     "select_frequencies",
     "predicted_chip_temperature",
+    "Engine",
+    "EngineContext",
+    "StepComponent",
+    "build_pipeline",
     "Simulation",
     "SimulationResult",
     "InvariantAuditor",

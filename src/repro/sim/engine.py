@@ -1,19 +1,60 @@
-"""The time-stepped simulation engine."""
+"""The time-stepped simulation engine.
+
+The engine is a thin clock driver over the step pipeline defined in
+:mod:`repro.sim.pipeline`: a fixed-order list of
+:class:`~repro.sim.pipeline.StepComponent` objects, each advancing one
+concern (arrivals, placement, DVFS, thermals, …) against a shared
+:class:`~repro.sim.pipeline.EngineContext`.  :class:`Simulation` is the
+user-facing binding of a topology, parameters and a policy; it
+assembles the standard pipeline and delegates to :class:`Engine`.
+"""
 
 from __future__ import annotations
 
-from collections import deque
 from typing import List, Sequence
 
 import numpy as np
 
-from ..config.parameters import SimulationParameters
 from ..errors import SimulationError
-from ..server.topology import ServerTopology
 from ..workloads.job import Job
-from .power_manager import dynamic_power, select_frequencies
+from .pipeline import EngineContext, StepComponent, build_pipeline
 from .results import SimulationResult
-from .state import SimulationState
+
+
+class Engine:
+    """Owns the clock; drives an ordered component pipeline.
+
+    The engine itself holds no simulation logic: it calls
+    ``on_run_start`` on every component, advances ``ctx.n_steps`` fixed
+    steps calling ``on_step`` in pipeline order, then calls
+    ``on_run_end``.  All physics, policy and bookkeeping live in the
+    components.
+    """
+
+    def __init__(self, components: Sequence[StepComponent]):
+        if not components:
+            raise SimulationError("engine needs at least one component")
+        self.components = list(components)
+
+    def run(self, ctx: EngineContext) -> SimulationResult:
+        """Drive the pipeline over the configured horizon."""
+        for component in self.components:
+            component.on_run_start(ctx)
+        state = ctx.state
+        dt = ctx.dt
+        warmup = ctx.warmup_s
+        step_hooks = [c.on_step for c in self.components]
+        for step in range(ctx.n_steps):
+            t = step * dt
+            ctx.step = step
+            ctx.time_s = t
+            state.time_s = t
+            ctx.in_window = t >= warmup
+            for hook in step_hooks:
+                hook(ctx)
+        for component in self.components:
+            component.on_run_end(ctx)
+        return ctx.result
 
 
 class Simulation:
@@ -23,24 +64,32 @@ class Simulation:
 
         sim = Simulation(moonshot_sut(), scaled(), CoolestFirst())
         result = sim.run(arrival_process.generate(params.sim_time_s))
+
+    A ``Simulation`` object is reusable: every :meth:`run` builds a
+    fresh state, result and RNG, and each pipeline component resets its
+    per-run state in ``on_run_start`` (the auditor and tracer included),
+    so back-to-back runs are independent and reproducible.
     """
 
     def __init__(
         self,
-        topology: ServerTopology,
-        params: SimulationParameters,
+        topology,
+        params,
         scheduler,
         migrator=None,
         fan_controller=None,
         trace_config=None,
         auditor=None,
+        extra_components: Sequence[StepComponent] = (),
     ):
         """Bind a run configuration.
 
         Args:
             topology: Server geometry.
             params: Simulation parameters.
-            scheduler: Placement policy (see :mod:`repro.core`).
+            scheduler: Placement policy (see :mod:`repro.core`); it
+                receives a read-only :class:`~repro.sim.view.
+                SchedulerView`, never the mutable state.
             migrator: Optional :class:`repro.core.migration.
                 MigrationPolicy`; consulted every ``migrator.interval_s``
                 to move long-running jobs to faster sockets.
@@ -53,7 +102,10 @@ class Simulation:
             auditor: Optional :class:`repro.sim.invariants.
                 InvariantAuditor`; checks physical invariants every
                 ``auditor.interval_steps`` steps and raises on
-                violation.  Must be a fresh instance per run.
+                violation.  Reset at every run start.
+            extra_components: Additional :class:`~repro.sim.pipeline.
+                StepComponent` observers appended after the standard
+                pipeline.
         """
         self.topology = topology
         self.params = params
@@ -62,225 +114,48 @@ class Simulation:
         self.fan_controller = fan_controller
         self.trace_config = trace_config
         self.auditor = auditor
+        self.extra_components = tuple(extra_components)
+
+    def build_components(self) -> List[StepComponent]:
+        """The pipeline this simulation runs, in contract order.
+
+        Override (or pass ``extra_components``) to customise the
+        pipeline; see ``docs/architecture.md`` for the ordering
+        contract.
+        """
+        return build_pipeline(
+            migrator=self.migrator,
+            fan_controller=self.fan_controller,
+            trace_config=self.trace_config,
+            auditor=self.auditor,
+            extra_components=self.extra_components,
+        )
 
     def run(self, jobs: Sequence[Job]) -> SimulationResult:
         """Simulate the given job stream to the configured horizon.
 
         Args:
             jobs: Jobs with pre-sampled arrival times and durations.
-                The list is consumed in arrival order.
+                Admission order is ``(arrival_s, job_id)``, so results
+                do not depend on the caller's list order.
 
         Returns:
             A :class:`SimulationResult` covering the post-warm-up
             window.
         """
-        topology = self.topology
-        params = self.params
-        state = SimulationState(topology, params)
-        rng = np.random.default_rng(params.seed + 0x5EED)
-        self.scheduler.reset(state, rng)
-
-        ladder = state.ladder
-        max_mhz = float(ladder.max_mhz)
-        span_mhz = float(ladder.max_mhz - ladder.min_mhz)
-        sustained = float(ladder.sustained_mhz)
-        dt = params.power_manager_interval_s
-        dt_ms = dt * 1000.0
-        n_steps = int(round(params.sim_time_s / dt))
-        warmup = params.warmup_s
-        history_alpha = 1.0 - np.exp(-dt / params.history_tau_s)
-
-        r_ext = topology.r_ext_array
-        theta_off = topology.theta_offset_array
-        theta_slope = topology.theta_slope_array
-        gated_power = topology.gated_power_array
-        tdp = topology.tdp_array
-        coupling = topology.coupling
-        inlet = params.inlet_c
-
-        result = SimulationResult(
-            scheduler_name=getattr(self.scheduler, "name", "unknown"),
-            params=params,
-            topology=topology,
-            n_jobs_submitted=len(jobs),
-            measured_span_s=params.measured_span_s,
+        ordered = sorted(
+            jobs, key=lambda job: (job.arrival_s, job.job_id)
         )
-
-        ordered = sorted(jobs, key=lambda job: job.arrival_s)
-        if params.warm_start and ordered:
-            _warm_start(state, ordered)
-        pointer = 0
-        queue: deque = deque()
-        migration_steps = 0
-        if self.migrator is not None:
-            migration_steps = max(
-                int(round(self.migrator.interval_s / dt)), 1
-            )
-        migrations = 0
-        fan = self.fan_controller
-        fan_steps = 0
-        airflow_scale = 1.0
-        fan_power_w = 0.0
-        scale_time_product = 0.0
-        if fan is not None:
-            fan_steps = max(int(round(fan.interval_s / dt)), 1)
-            fan_power_w = fan.fan_power_w(airflow_scale)
-        auditor = self.auditor
-        trace = None
-        trace_steps = 0
-        if self.trace_config is not None:
-            from .tracing import SimulationTrace
-
-            trace = SimulationTrace()
-            trace_steps = max(
-                int(round(self.trace_config.interval_s / dt)), 1
-            )
-            result.trace = trace
-
-        for step in range(n_steps):
-            t = step * dt
-            state.time_s = t
-
-            # 1. Admit arrivals.
-            while (
-                pointer < len(ordered)
-                and ordered[pointer].arrival_s <= t
-            ):
-                queue.append(ordered[pointer])
-                pointer += 1
-            if len(queue) > result.max_queue_length:
-                result.max_queue_length = len(queue)
-
-            # 2. Scheduling decisions.
-            if queue:
-                idle = state.idle_socket_ids()
-                while queue and idle.size:
-                    job = queue.popleft()
-                    socket_id = int(
-                        self.scheduler.select_socket(job, idle, state)
-                    )
-                    state.assign(job, socket_id)
-                    idle = idle[idle != socket_id]
-
-            # 2b. Optional thermal-aware migration of long jobs.
-            if (
-                migration_steps
-                and step > 0
-                and step % migration_steps == 0
-            ):
-                for source, destination in self.migrator.propose(state):
-                    state.migrate(
-                        source, destination, self.migrator.cost_ms
-                    )
-                    migrations += 1
-
-            # 3. Power manager: frequency selection and power draw.
-            freq = select_frequencies(
-                sink_c=state.sink_c,
-                chip_c=state.chip_c,
-                dyn_max_w=state.dyn_max_w,
-                dyn_exp=state.dyn_exp,
-                tdp_w=tdp,
-                theta_offset=theta_off,
-                theta_slope=theta_slope,
-                ladder=ladder,
-                params=params,
-            )
-            state.freq_mhz = np.where(
-                state.busy, freq, float(ladder.min_mhz)
-            )
-            busy_power = (
-                dynamic_power(
-                    state.freq_mhz, state.dyn_max_w, state.dyn_exp, max_mhz
-                )
-                + _leakage(state.chip_c, tdp)
-            )
-            power = np.where(state.busy, busy_power, gated_power)
-            state.power_w = power
-
-            # 4. Retire work; detect and interpolate completions.
-            rate = 1.0 - state.perf_drop * (max_mhz - state.freq_mhz) / (
-                span_mhz if span_mhz > 0 else 1.0
-            )
-            done_ms = rate * dt_ms
-            busy_frac = state.busy.astype(float)
-            retired = np.where(state.busy, done_ms, 0.0)
-            completing = state.busy & (
-                state.remaining_work_ms <= done_ms
-            )
-            in_window = t >= warmup
-            if completing.any():
-                for socket_id in np.nonzero(completing)[0]:
-                    remaining = state.remaining_work_ms[socket_id]
-                    frac = remaining / done_ms[socket_id]
-                    retired[socket_id] = remaining
-                    busy_frac[socket_id] = frac
-                    power[socket_id] = (
-                        power[socket_id] * frac
-                        + gated_power[socket_id] * (1.0 - frac)
-                    )
-                    job = state.release(socket_id)
-                    job.finish_s = t + frac * dt
-                    if in_window:
-                        result.completed_jobs.append(job)
-            running = state.busy  # completions already released
-            state.remaining_work_ms[running] -= done_ms[running]
-
-            # 5. Thermal advance: coupling then the two-node model.
-            if fan is not None and step % fan_steps == 0:
-                airflow_scale = fan.airflow_scale(float(power.sum()))
-                fan_power_w = fan.fan_power_w(airflow_scale)
-            sink_heat = state.thermal.sink_heat_output_w(
-                state.ambient_c, r_ext
-            )
-            rises = coupling.entry_temperatures(inlet, sink_heat) - inlet
-            state.ambient_c = inlet + rises / airflow_scale
-            theta = theta_off + theta_slope * power
-            state.thermal.step(
-                dt, state.ambient_c, power, params.r_int, r_ext, theta
-            )
-            state.history_c += history_alpha * (
-                state.chip_c - state.history_c
-            )
-            state.busy_ema += history_alpha * (
-                state.busy - state.busy_ema
-            )
-
-            # 6. Metrics.
-            if in_window:
-                result.energy_j += float(power.sum()) * dt
-                result.cooling_energy_j += fan_power_w * dt
-                scale_time_product += airflow_scale * dt
-                result.work_done += retired
-                result.busy_time_s += busy_frac * dt
-                rel = state.freq_mhz / max_mhz
-                result.freq_time_product += rel * busy_frac * dt
-                result.boost_time_s += (
-                    (state.freq_mhz > sustained) & (busy_frac > 0)
-                ) * busy_frac * dt
-                np.maximum(
-                    result.max_chip_c, state.chip_c, out=result.max_chip_c
-                )
-            if trace is not None and step % trace_steps == 0:
-                trace.sample(state, len(queue), max_mhz)
-                if self.trace_config.per_zone:
-                    trace.sample_zones(state)
-
-            # 7. Optional invariant audit (read-only: an audited run is
-            # bit-identical to an unaudited one).
-            if (
-                auditor is not None
-                and step % auditor.interval_steps == 0
-            ):
-                auditor.check(state, step, result.energy_j)
-
-        result.n_migrations = migrations
-        if params.measured_span_s > 0:
-            result.mean_airflow_scale = (
-                scale_time_product / params.measured_span_s
-                if fan is not None
-                else 1.0
-            )
+        ctx = EngineContext.create(
+            self.topology,
+            self.params,
+            self.scheduler,
+            ordered,
+            n_jobs_submitted=len(jobs),
+        )
+        if self.params.warm_start and ordered:
+            _warm_start(ctx.state, ordered)
+        result = Engine(self.build_components()).run(ctx)
         if not result.completed_jobs:
             raise SimulationError(
                 "no jobs completed in the measurement window; increase "
@@ -289,14 +164,7 @@ class Simulation:
         return result
 
 
-def _leakage(chip_c: np.ndarray, tdp_w: np.ndarray) -> np.ndarray:
-    """Vectorised leakage with per-socket TDP."""
-    from ..workloads.power_model import leakage_power
-
-    return leakage_power(chip_c, 1.0) * tdp_w
-
-
-def _warm_start(state: SimulationState, ordered: List[Job]) -> None:
+def _warm_start(state, ordered: List[Job]) -> None:
     """Initialise the thermal field at the load-consistent fixed point.
 
     The sink chain converges stage by stage along the airflow direction

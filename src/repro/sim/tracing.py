@@ -64,6 +64,26 @@ class SimulationTrace:
     def __len__(self) -> int:
         return len(self.times_s)
 
+    def reset(self) -> None:
+        """Drop every recorded sample, ready for a fresh run.
+
+        The engine's :class:`~repro.sim.pipeline.Tracer` component
+        builds a fresh trace per run, but hand-held traces (tests,
+        notebooks) can be recycled with this instead of silently
+        concatenating samples across runs.
+        """
+        for series in (
+            self.times_s,
+            self.utilization,
+            self.queue_length,
+            self.mean_chip_c,
+            self.max_chip_c,
+            self.total_power_w,
+            self.mean_rel_frequency,
+            self.zone_chip_c,
+        ):
+            series.clear()
+
     def sample(self, state, queue_length: int, max_mhz: float) -> None:
         """Record one sample from the live engine state."""
         self.times_s.append(state.time_s)

@@ -114,18 +114,22 @@ class CouplingChain:
         ``w[k, j]`` is the degC of entry-temperature rise at local
         position ``k`` per watt of heat leaving local position ``j``
         (zero for ``j >= k``).
+
+        The retention of source ``j`` at position ``k`` is the left-to-
+        right product of the gap decays between them, so each source
+        column is one cumulative product down the remaining chain —
+        vectorising the historical triple loop while multiplying in the
+        same order (bit-identical weights).
         """
         n = len(self.socket_ids)
         per_watt = (
             self.mixing_factor * AIR_HEATING_CONSTANT / self.airflow_cfm
         )
+        decays = np.asarray(self.gap_decays, dtype=float)
         weights = np.zeros((n, n))
-        for k in range(1, n):
-            for j in range(k):
-                retention = 1.0
-                for gap in range(j + 1, k + 1):
-                    retention *= self.gap_decays[gap]
-                weights[k, j] = per_watt * retention
+        for j in range(n - 1):
+            retention = np.cumprod(decays[j + 1 :])
+            weights[j + 1 :, j] = per_watt * retention
         return weights
 
 

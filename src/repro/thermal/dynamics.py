@@ -127,13 +127,74 @@ class TwoNodeThermalState:
             self.chip_c, chip_target, dt_s, self.chip_tau_s
         )
 
+    def step_decayed(
+        self,
+        sink_decay: float,
+        chip_decay: float,
+        ambient_c: np.ndarray,
+        power_w: np.ndarray,
+        r_int: np.ndarray,
+        r_ext: np.ndarray,
+        theta: np.ndarray,
+        scratch: "np.ndarray | None" = None,
+    ) -> None:
+        """Advance both nodes using precomputed decay factors.
+
+        The fixed-step engine calls the relaxation thousands of times
+        with the same ``dt``; this fused variant takes the decay
+        factors ``exp(-dt/tau)`` precomputed once per run and updates
+        both node arrays fully in place (one scratch allocation per
+        call instead of six temporaries).  It performs the identical
+        floating-point operations in the identical per-element order as
+        :meth:`step` with ``exponential_step``, so trajectories are
+        bit-identical.
+
+        Args:
+            sink_decay: ``exp(-dt / socket_tau_s)`` for the engine step.
+            chip_decay: ``exp(-dt / chip_tau_s)`` for the engine step.
+            ambient_c: Per-socket entry air temperature, degC.
+            power_w: Per-socket total power, W.
+            r_int: Per-socket internal resistance, degC/W.
+            r_ext: Per-socket external (sink) resistance, degC/W.
+            theta: Per-socket Equation 1 correction, degC.
+            scratch: Optional per-socket work buffer reused by the
+                engine hot path (its contents are overwritten).
+        """
+        # Sink node: target = ambient + power * r_ext, then
+        # T <- target + (T - target) * decay, evaluated in place.
+        target = np.multiply(power_w, r_ext, out=scratch)
+        target += ambient_c
+        sink = self.sink_c
+        sink -= target
+        sink *= sink_decay
+        sink += target
+        # Chip node over the *new* sink state:
+        # target = sink + power * r_int + theta.
+        np.multiply(power_w, r_int, out=target)
+        target += sink
+        target += theta
+        chip = self.chip_c
+        chip -= target
+        chip *= chip_decay
+        chip += target
+
     def sink_heat_output_w(
-        self, ambient_c: np.ndarray, r_ext: np.ndarray
+        self,
+        ambient_c: np.ndarray,
+        r_ext: np.ndarray,
+        out: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """Heat currently flowing from each sink into the air stream, W.
 
         This is the quantity that warms downstream sockets: the coupling
         chain consumes it instead of the instantaneous electrical power,
         which gives the 30 s coupling lag the paper describes.
+
+        Args:
+            ambient_c: Per-socket entry air temperature, degC.
+            r_ext: Per-socket external (sink) resistance, degC/W.
+            out: Optional output buffer reused by the engine hot path.
         """
-        return np.maximum((self.sink_c - ambient_c) / r_ext, 0.0)
+        heat = np.subtract(self.sink_c, ambient_c, out=out)
+        heat /= r_ext
+        return np.maximum(heat, 0.0, out=heat)

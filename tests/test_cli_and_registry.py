@@ -3,6 +3,7 @@
 import pytest
 
 from repro.__main__ import build_parser, main
+from repro._version import __version__
 from repro.errors import ConfigurationError
 from repro.experiments.registry import (
     EXPERIMENTS,
@@ -72,3 +73,15 @@ class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out == f"repro {__version__}"
+
+    def test_version_matches_package(self):
+        import repro
+
+        assert repro.__version__ == __version__

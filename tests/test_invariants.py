@@ -101,6 +101,18 @@ class TestViolations:
         state.thermal.chip_c[4] = state.thermal.sink_c[4] - 1.0
         audit(state, lag_tolerance_c=5.0)
 
+    def test_sink_lag_bound_scales_with_airflow(self, state):
+        # A slowed fan (scale << 1) amplifies entry-air rises by
+        # 1/scale; the sink-lag check compares against the
+        # design-airflow rise, so the same state passes at low scale.
+        state.ambient_c = state.ambient_c + 30.0
+        auditor = InvariantAuditor()
+        with pytest.raises(InvariantViolation) as excinfo:
+            auditor.check(state, 10, 0.0)
+        assert excinfo.value.invariant == "sink >= ambient - lag"
+        auditor.reset()
+        auditor.check(state, 10, 0.0, airflow_scale=0.1)
+
     def test_power_above_envelope(self, state):
         state.power_w[7] = 10_000.0
         with pytest.raises(InvariantViolation) as excinfo:
@@ -150,13 +162,15 @@ class TestEngineIntegration:
         """A violation mid-run surfaces through Simulation.run."""
         from repro.thermal.dynamics import TwoNodeThermalState
 
-        original = TwoNodeThermalState.step
+        original = TwoNodeThermalState.step_decayed
 
         def poisoned(self, *args, **kwargs):
             original(self, *args, **kwargs)
             self.chip_c[2] = float("nan")
 
-        monkeypatch.setattr(TwoNodeThermalState, "step", poisoned)
+        monkeypatch.setattr(
+            TwoNodeThermalState, "step_decayed", poisoned
+        )
         with pytest.raises(InvariantViolation) as excinfo:
             run_once(
                 small_sut,
