@@ -1,0 +1,91 @@
+"""Benchmark the fault-scenario experiment and the fault hot path.
+
+Two timings: the full fan-degradation experiment (healthy + faulted
+run per scheme) at reduced scale, and a single fault-injected run
+versus its fault-free twin — the injector, the fault-aware view and
+the trip machinery should cost only a few percent of a step, since
+every hook early-outs when its fault class is inactive.
+"""
+
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import get_scheduler
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fault_scenarios import run as run_scenarios
+from repro.faults import FanLaneFault, FaultSchedule
+from repro.server.topology import moonshot_sut
+from repro.sim.runner import run_once
+from repro.workloads.benchmark import BenchmarkSet
+
+SCHEMES = ("CF", "HF", "CP")
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return moonshot_sut(n_rows=2)
+
+
+def test_fault_scenarios_experiment(benchmark, record_artifact):
+    config = ExperimentConfig(n_rows=2, sim_time_s=6.0, warmup_s=2.0)
+    result = benchmark.pedantic(
+        run_scenarios,
+        kwargs=dict(config=config, schemes=SCHEMES),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(result.reports) == set(SCHEMES)
+    # Physics sanity: the harsh default fan fault costs every scheme
+    # downwind frequency.
+    for scheme in SCHEMES:
+        assert result.reports[scheme].downwind_freq_loss > 0
+    record_artifact(
+        "fault_scenarios",
+        f"fan of row {result.faulted_row} at {result.fan_scale:.0%} "
+        f"airflow, load {result.load:.0%}\n"
+        + "\n".join(
+            f"{s}: regret={result.reports[s].fault_regret:.4f} "
+            f"downwind_dF={result.reports[s].downwind_freq_loss:.4f}"
+            for s in result.schemes
+        ),
+    )
+
+
+def test_fault_injection_overhead(benchmark, topology, record_artifact):
+    """One faulted run, timed; compared against its fault-free twin."""
+    import time
+
+    params = smoke(seed=3)
+    schedule = FaultSchedule(
+        events=(FanLaneFault(row=0, scale=0.5, start_s=1.0),)
+    )
+
+    start = time.perf_counter()
+    run_once(
+        topology,
+        params,
+        get_scheduler("CF"),
+        BenchmarkSet.COMPUTATION,
+        0.5,
+    )
+    base_s = time.perf_counter() - start
+
+    result = benchmark.pedantic(
+        run_once,
+        args=(topology, params),
+        kwargs=dict(
+            scheduler=get_scheduler("CF"),
+            benchmark_set=BenchmarkSet.COMPUTATION,
+            load=0.5,
+            fault_schedule=schedule,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.fault_summary is not None
+    faulted_s = benchmark.stats.stats.mean
+    record_artifact(
+        "fault_injection_overhead",
+        f"fault-free: {base_s:.3f}s\nfaulted:    {faulted_s:.3f}s\n"
+        f"overhead:   {faulted_s / base_s - 1.0:+.1%}",
+    )

@@ -91,6 +91,19 @@ def _cmd_sweep(args) -> int:
         warmup_s=min(args.sim_time / 3.0, 8.0),
         seed=args.seed,
     )
+    fault_schedule = None
+    if args.faults:
+        from .faults import parse_fault_spec
+
+        fault_schedule = parse_fault_spec(
+            args.faults,
+            topology=topology,
+            horizon_s=args.sim_time,
+        )
+        print(
+            f"fault schedule: {len(fault_schedule)} event(s), "
+            f"fingerprint {fault_schedule.fingerprint()[:16]}"
+        )
     results = run_sweep(
         topology,
         params,
@@ -99,6 +112,8 @@ def _cmd_sweep(args) -> int:
         args.loads,
         max_workers=args.workers or 1,
         audit=args.audit,
+        fault_schedule=fault_schedule,
+        checkpoint_dir=args.resume,
     )
     if args.csv:
         save_csv(results, args.csv)
@@ -224,6 +239,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="scaled horizon, seconds",
     )
     sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help=(
+            "inject a deterministic fault schedule into every point; "
+            "clauses separated by ';', e.g. "
+            "'fan:row=0,scale=0.5,start=2;kill:socket=3,start=4' or "
+            "'random:seed=7,n=3' (see repro.faults.parse_fault_spec)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        help=(
+            "checkpoint directory: every finished point is persisted "
+            "there immediately, and re-running with the same "
+            "configuration resumes bit-identically from whatever "
+            "completed"
+        ),
+    )
     sweep_parser.add_argument("--csv", help="write summaries to CSV")
     sweep_parser.add_argument("--json", help="write summaries to JSON")
     _add_execution_flags(sweep_parser)

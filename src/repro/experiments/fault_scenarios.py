@@ -1,0 +1,220 @@
+"""Fault scenarios: fan degradation and scheduler resilience.
+
+The paper's thermal-coupling argument cuts both ways: the same air
+chain that lets an upwind job tax its downwind neighbours also
+amplifies *component failures*.  When the fan lane serving one
+cartridge row weakens, every entry-temperature rise in that row is
+divided by the residual airflow — the downwind half of the chain,
+already the hottest real estate in the chassis, loses the most DVFS
+headroom.  This experiment measures how much each scheduling scheme's
+performance depends on that fragile region.
+
+Method: for every scheme, run the *identical* workload twice — once
+healthy, once with a deterministic
+:class:`~repro.faults.events.FanLaneFault` degrading one row's airflow
+from the start of the measurement window — and difference the runs
+(:func:`~repro.metrics.robustness.fault_impact_report`).  Schemes that
+concentrate work in the faulted row's downwind half (the front-loading
+policies, when the faulted row is busy) pay the largest fault regret;
+schemes that spread or adapt shrug the fault off.  The downwind
+frequency-loss column isolates the thermal mechanism: how much average
+relative frequency the downwind sockets lost to the weakened fan.
+
+Expected shape: every scheme loses downwind frequency (physics does
+not negotiate), but the *performance* cost is scheme-dependent —
+adaptive schemes (CP, Predictive) re-route work away from the degraded
+row and show the smallest regret at moderate load, while thermally
+blind schemes (Random, HF) keep placing jobs behind the weak fan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import get_scheduler
+from ..errors import ConfigurationError
+from ..faults import FanLaneFault, FaultSchedule
+from ..metrics.robustness import (
+    FaultImpactReport,
+    fault_impact_report,
+    most_resilient,
+)
+from ..sim.runner import run_once
+from ..workloads.benchmark import BenchmarkSet
+from .common import ExperimentConfig, format_table
+
+DEFAULT_SCHEMES: Tuple[str, ...] = (
+    "CF",
+    "HF",
+    "Random",
+    "Balanced-L",
+    "Predictive",
+    "CP",
+)
+
+DEFAULT_LOAD = 0.9
+
+#: Residual airflow of the degraded lane.  The default models a failed
+#: (windmilling) fan: harsh enough that the downwind chain hits the
+#: thermal limit and measurably throttles even on the scaled-down SUT;
+#: milder degradation only shows up near the paper's full scale.
+DEFAULT_FAN_SCALE = 0.15
+
+
+@dataclass(frozen=True)
+class FaultScenarioResult:
+    """Per-scheme impact of one fan-degradation scenario.
+
+    Attributes:
+        reports: ``{scheme: FaultImpactReport}``.
+        schemes: Scheme names evaluated, in order.
+        load: Offered load of the runs.
+        faulted_row: Row whose fan lane was degraded.
+        fan_scale: Residual airflow fraction of the degraded lane.
+        schedule_fingerprint: Content fingerprint of the injected
+            schedule (ties the table to an exact fault definition).
+    """
+
+    reports: Dict[str, FaultImpactReport]
+    schemes: Tuple[str, ...]
+    load: float
+    faulted_row: int
+    fan_scale: float
+    schedule_fingerprint: str
+
+    def rows(self) -> List[List[object]]:
+        """Formatted table rows, one per scheme."""
+        rows = []
+        for scheme in self.schemes:
+            report = self.reports[scheme]
+            rows.append(
+                [
+                    scheme,
+                    round(report.healthy_performance, 4),
+                    round(report.faulted_performance, 4),
+                    round(report.fault_regret, 4),
+                    round(report.downwind_freq_loss, 4),
+                ]
+            )
+        return rows
+
+    @property
+    def most_resilient(self) -> str:
+        """Scheme losing the least performance to the fault."""
+        return most_resilient(self.reports)
+
+
+def downwind_mask(topology, row: int) -> np.ndarray:
+    """Sockets in ``row`` on the downwind half of the airflow chain.
+
+    These sit behind the most heated air when the row's fan degrades —
+    the region where the fault's frequency cost concentrates.
+    """
+    if not 0 <= row < topology.n_rows:
+        raise ConfigurationError(
+            f"row {row} out of range 0..{topology.n_rows - 1}"
+        )
+    in_row = topology.row_array == row
+    back_half = topology.chain_pos_array >= topology.chain_length / 2.0
+    return in_row & back_half
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    load: float = DEFAULT_LOAD,
+    benchmark_set: BenchmarkSet = BenchmarkSet.COMPUTATION,
+    faulted_row: int = 0,
+    fan_scale: float = DEFAULT_FAN_SCALE,
+    fault_start_s: Optional[float] = None,
+) -> FaultScenarioResult:
+    """Run the healthy/faulted pair for every scheme.
+
+    Args:
+        config: Scale knobs (rows, horizon, audit) shared by all runs.
+        schemes: Registered scheduler names to evaluate.
+        load: Offered load in (0, 1].
+        benchmark_set: Workload set to draw jobs from.
+        faulted_row: Row whose fan lane degrades.
+        fan_scale: Residual airflow fraction in (0, 1] while degraded.
+        fault_start_s: Fault activation time; defaults to the end of
+            the warm-up, so the whole measurement window runs degraded.
+    """
+    config = config or ExperimentConfig()
+    topology = config.topology()
+    params = config.parameters()
+    if fault_start_s is None:
+        fault_start_s = params.warmup_s
+    schedule = FaultSchedule(
+        events=(
+            FanLaneFault(
+                row=faulted_row, scale=fan_scale, start_s=fault_start_s
+            ),
+        )
+    )
+    schedule.validate(topology)
+    mask = downwind_mask(topology, faulted_row)
+
+    def auditor():
+        if not config.audit:
+            return None
+        from ..sim.invariants import InvariantAuditor
+
+        return InvariantAuditor()
+
+    reports: Dict[str, FaultImpactReport] = {}
+    for scheme in schemes:
+        healthy = run_once(
+            topology,
+            params,
+            get_scheduler(scheme),
+            benchmark_set,
+            load,
+            auditor=auditor(),
+        )
+        faulted = run_once(
+            topology,
+            params,
+            get_scheduler(scheme),
+            benchmark_set,
+            load,
+            auditor=auditor(),
+            fault_schedule=schedule,
+        )
+        reports[scheme] = fault_impact_report(
+            scheme, healthy, faulted, downwind_mask=mask
+        )
+    return FaultScenarioResult(
+        reports=reports,
+        schemes=tuple(schemes),
+        load=load,
+        faulted_row=faulted_row,
+        fan_scale=fan_scale,
+        schedule_fingerprint=schedule.fingerprint(),
+    )
+
+
+def main() -> None:
+    """Print the fault-scenario table."""
+    result = run()
+    print(
+        f"Fan lane of row {result.faulted_row} degraded to "
+        f"{result.fan_scale:.0%} airflow at {result.load:.0%} load"
+    )
+    headers = [
+        "Scheme",
+        "Healthy",
+        "Faulted",
+        "Regret",
+        "Downwind dF",
+    ]
+    print(format_table(headers, result.rows()))
+    print(f"Most resilient: {result.most_resilient}")
+    print(f"Fault schedule: {result.schedule_fingerprint[:16]}")
+
+
+if __name__ == "__main__":
+    main()

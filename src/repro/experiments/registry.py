@@ -12,6 +12,7 @@ from typing import Callable, Dict, List
 
 from ..errors import ConfigurationError
 from . import (
+    fault_scenarios,
     fig01_survey,
     fig02_cartridge_thermals,
     fig03_motivation,
@@ -129,6 +130,12 @@ _EXPERIMENTS: List[Experiment] = [
         "fig15",
         "ED^2 vs CF across loads and workloads",
         fig15_ed2,
+        heavy=True,
+    ),
+    Experiment(
+        "faults",
+        "Fan degradation: per-scheme fault regret and downwind loss",
+        fault_scenarios,
         heavy=True,
     ),
     Experiment(

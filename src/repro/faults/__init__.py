@@ -1,0 +1,47 @@
+"""Deterministic fault injection for degraded-chassis studies.
+
+Public surface:
+
+- :mod:`repro.faults.events` — the fault event dataclasses;
+- :class:`~repro.faults.schedule.FaultSchedule` /
+  :class:`~repro.faults.schedule.FaultResponse` — a seeded,
+  fingerprinted scenario plus the graceful-degradation policy;
+- :class:`~repro.faults.injector.FaultInjector` /
+  :class:`~repro.faults.injector.FaultState` — the pipeline component
+  replaying a schedule and the runtime flags it shares with the engine;
+- :func:`~repro.faults.spec.parse_fault_spec` — the CLI ``--faults``
+  mini-language.
+
+Pass a schedule to :class:`repro.sim.engine.Simulation` (or the
+``fault_schedule`` argument of :func:`repro.sim.runner.run_once` /
+:func:`~repro.sim.runner.run_sweep`) to inject it; runs without one are
+bit-identical to the fault-free engine.
+"""
+
+from .events import (
+    DVFSStuckFault,
+    FanLaneFault,
+    FaultEvent,
+    PowerCapFault,
+    SensorFault,
+    SensorFaultMode,
+    SocketKillFault,
+)
+from .injector import FaultInjector, FaultState
+from .schedule import FaultResponse, FaultSchedule
+from .spec import parse_fault_spec
+
+__all__ = [
+    "DVFSStuckFault",
+    "FanLaneFault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultResponse",
+    "FaultSchedule",
+    "FaultState",
+    "PowerCapFault",
+    "SensorFault",
+    "SensorFaultMode",
+    "SocketKillFault",
+    "parse_fault_spec",
+]

@@ -1,0 +1,224 @@
+"""Parser for the CLI ``--faults`` mini-language.
+
+A spec is a ``;``-separated list of clauses, each
+``kind:key=value,key=value``.  Kinds and their keys:
+
+- ``fan:row=R[,lane=L],scale=S[,start=T][,end=T]`` — fan-lane
+  degradation (``scale`` is the residual airflow fraction).
+- ``sensor:socket=N,mode=bias,bias=C[,start=T][,end=T]`` — biased
+  telemetry; ``mode=stuck,value=C`` and ``mode=dropout`` select the
+  other corruption modes.
+- ``dvfs:socket=N,mhz=F[,start=T][,end=T]`` — ladder stuck at F MHz.
+- ``kill:socket=N[,start=T][,end=T]`` — fail-stop socket death.
+- ``cap:mhz=F[,start=T][,end=T]`` — server-wide power-cap event.
+- ``random:seed=S[,n=K]`` — K seeded random events realisable on the
+  topology (requires the caller to pass one).
+
+Examples::
+
+    fan:row=0,scale=0.5,start=2
+    kill:socket=3,start=4;cap:mhz=1300,start=6,end=9
+    random:seed=7,n=4
+
+``start`` defaults to 0 (active from the first step) and ``end`` to
+never clearing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..server.topology import ServerTopology
+from .events import (
+    DVFSStuckFault,
+    FanLaneFault,
+    FaultEvent,
+    PowerCapFault,
+    SensorFault,
+    SensorFaultMode,
+    SocketKillFault,
+)
+from .schedule import FaultResponse, FaultSchedule
+
+
+def _fields(body: str, clause: str) -> Dict[str, str]:
+    fields: Dict[str, str] = {}
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ConfigurationError(
+                f"fault clause {clause!r}: expected key=value, "
+                f"got {item!r}"
+            )
+        key, _, value = item.partition("=")
+        fields[key.strip()] = value.strip()
+    return fields
+
+
+def _pop_float(
+    fields: Dict[str, str], key: str, clause: str, default=None
+) -> Optional[float]:
+    if key not in fields:
+        if default is not None or key in ("start", "end"):
+            return default
+        raise ConfigurationError(
+            f"fault clause {clause!r} is missing {key}="
+        )
+    try:
+        return float(fields.pop(key))
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"fault clause {clause!r}: {key} must be a number"
+        ) from exc
+
+
+def _pop_int(fields: Dict[str, str], key: str, clause: str) -> int:
+    value = _pop_float(fields, key, clause)
+    if value is None or value != int(value):
+        raise ConfigurationError(
+            f"fault clause {clause!r}: {key} must be an integer"
+        )
+    return int(value)
+
+
+def _reject_leftovers(fields: Dict[str, str], clause: str) -> None:
+    if fields:
+        unknown = ", ".join(sorted(fields))
+        raise ConfigurationError(
+            f"fault clause {clause!r}: unknown key(s) {unknown}"
+        )
+
+
+def parse_fault_spec(
+    spec: str,
+    topology: Optional[ServerTopology] = None,
+    horizon_s: float = 10.0,
+    response: Optional[FaultResponse] = None,
+) -> FaultSchedule:
+    """Parse a ``--faults`` spec string into a :class:`FaultSchedule`.
+
+    Args:
+        spec: The clause list (see module docstring).
+        topology: Required for ``random:`` clauses and, when given,
+            used to validate every event immediately so CLI users get
+            errors at parse time rather than mid-run.
+        horizon_s: Horizon over which ``random:`` events are spread.
+        response: Degradation-response overrides for the schedule.
+
+    Raises:
+        ConfigurationError: for malformed clauses or events the
+            topology cannot realise.
+    """
+    events: List[FaultEvent] = []
+    for raw in spec.split(";"):
+        clause = raw.strip()
+        if not clause:
+            continue
+        kind, _, body = clause.partition(":")
+        kind = kind.strip().lower()
+        fields = _fields(body, clause)
+        start = _pop_float(fields, "start", clause, default=0.0)
+        end = _pop_float(fields, "end", clause)
+        if kind == "fan":
+            lane = (
+                _pop_int(fields, "lane", clause)
+                if "lane" in fields
+                else None
+            )
+            events.append(
+                FanLaneFault(
+                    start_s=start,
+                    end_s=end,
+                    row=_pop_int(fields, "row", clause),
+                    lane=lane,
+                    scale=_pop_float(fields, "scale", clause),
+                )
+            )
+        elif kind == "sensor":
+            socket = _pop_int(fields, "socket", clause)
+            mode_name = fields.pop("mode", "bias").lower()
+            try:
+                mode = SensorFaultMode(mode_name)
+            except ValueError as exc:
+                known = ", ".join(m.value for m in SensorFaultMode)
+                raise ConfigurationError(
+                    f"fault clause {clause!r}: unknown sensor mode "
+                    f"{mode_name!r} (known: {known})"
+                ) from exc
+            bias = (
+                _pop_float(fields, "bias", clause)
+                if "bias" in fields
+                else 0.0
+            )
+            stuck = (
+                _pop_float(fields, "value", clause)
+                if "value" in fields
+                else None
+            )
+            events.append(
+                SensorFault(
+                    start_s=start,
+                    end_s=end,
+                    socket_id=socket,
+                    mode=mode,
+                    bias_c=bias,
+                    stuck_c=stuck,
+                )
+            )
+        elif kind == "dvfs":
+            events.append(
+                DVFSStuckFault(
+                    start_s=start,
+                    end_s=end,
+                    socket_id=_pop_int(fields, "socket", clause),
+                    stuck_mhz=_pop_float(fields, "mhz", clause),
+                )
+            )
+        elif kind == "kill":
+            events.append(
+                SocketKillFault(
+                    start_s=start,
+                    end_s=end,
+                    socket_id=_pop_int(fields, "socket", clause),
+                )
+            )
+        elif kind == "cap":
+            events.append(
+                PowerCapFault(
+                    start_s=start,
+                    end_s=end,
+                    cap_mhz=_pop_float(fields, "mhz", clause),
+                )
+            )
+        elif kind == "random":
+            if topology is None:
+                raise ConfigurationError(
+                    "random: fault clauses need a topology"
+                )
+            seed = _pop_int(fields, "seed", clause)
+            n = (
+                _pop_int(fields, "n", clause)
+                if "n" in fields
+                else 3
+            )
+            events.extend(
+                FaultSchedule.random(
+                    topology, seed, n_events=n, horizon_s=horizon_s
+                ).events
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r} in clause {clause!r} "
+                "(known: fan, sensor, dvfs, kill, cap, random)"
+            )
+        _reject_leftovers(fields, clause)
+    schedule = FaultSchedule(
+        events=tuple(events),
+        response=response or FaultResponse(),
+    )
+    if topology is not None:
+        schedule.validate(topology)
+    return schedule

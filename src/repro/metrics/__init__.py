@@ -10,9 +10,12 @@ from .energy import relative_ed2, energy_summary, EnergySummary
 from .zones import zone_report, ZoneReport
 from .stats import coefficient_of_variation, summarize
 from .robustness import (
+    FaultImpactReport,
     RobustnessReport,
-    robustness_report,
+    fault_impact_report,
+    most_resilient,
     most_robust,
+    robustness_report,
 )
 
 __all__ = [
@@ -30,4 +33,7 @@ __all__ = [
     "RobustnessReport",
     "robustness_report",
     "most_robust",
+    "FaultImpactReport",
+    "fault_impact_report",
+    "most_resilient",
 ]

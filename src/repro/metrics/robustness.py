@@ -1,4 +1,4 @@
-"""Robustness across load levels.
+"""Robustness across load levels and under injected faults.
 
 The paper's closing argument for CP is not just its average gain but
 its *robustness*: "no existing scheme provides consistent performance
@@ -7,6 +7,14 @@ important for server systems where system load can change constantly".
 These metrics make that claim measurable: for each scheme, the
 worst-case performance relative to the per-load best scheme (regret),
 aggregated over the load axis.
+
+The same argument extends to *component failures* — fans degrade,
+sensors drift, sockets die — and a dense chassis amplifies them
+through thermal coupling: one weak fan heats every downwind socket in
+its lane.  :class:`FaultImpactReport` quantifies each scheme's
+exposure by pairing a healthy run with a fault-injected run of the
+identical workload (same seed, same arrivals), so the measured delta
+is attributable to the fault alone.
 """
 
 from __future__ import annotations
@@ -99,4 +107,87 @@ def most_robust(
         raise ReproError("no robustness reports given")
     return min(
         reports.values(), key=lambda r: (r.worst_regret, r.mean_regret)
+    ).scheme
+
+
+@dataclass(frozen=True)
+class FaultImpactReport:
+    """Performance cost of one fault scenario for one scheme.
+
+    All quantities compare a fault-injected run against a healthy run
+    of the *identical* workload, so the deltas are attributable to the
+    fault alone.
+
+    Attributes:
+        scheme: Scheme name.
+        healthy_performance: Performance score of the fault-free run.
+        faulted_performance: Performance score of the faulted run.
+        fault_regret: Fractional performance lost to the fault
+            (``1 - faulted / healthy``; 0 means the scheme fully
+            absorbed the fault, negative means it got lucky).
+        downwind_freq_loss: Drop in busy-time-weighted relative
+            frequency over the downwind sockets (those thermally behind
+            the faulted component); ``nan`` if the mask was never busy
+            in either run.
+    """
+
+    scheme: str
+    healthy_performance: float
+    faulted_performance: float
+    fault_regret: float
+    downwind_freq_loss: float
+
+
+def fault_impact_report(
+    scheme: str,
+    healthy,
+    faulted,
+    downwind_mask=None,
+) -> FaultImpactReport:
+    """Pair a healthy and a faulted run of one scheme into a report.
+
+    Args:
+        scheme: Scheme name for the report.
+        healthy: :class:`~repro.sim.results.SimulationResult` of the
+            fault-free run.
+        faulted: Result of the fault-injected run (same topology,
+            parameters and seed).
+        downwind_mask: Optional boolean socket mask selecting the
+            sockets thermally downwind of the faulted component; the
+            report's frequency-loss column covers only them.
+
+    Raises:
+        ReproError: if healthy performance is not positive.
+    """
+    healthy_perf = healthy.performance
+    faulted_perf = faulted.performance
+    if healthy_perf <= 0:
+        raise ReproError("healthy performance must be positive")
+    loss = float("nan")
+    if downwind_mask is not None:
+        before = healthy.average_relative_frequency(downwind_mask)
+        after = faulted.average_relative_frequency(downwind_mask)
+        loss = before - after
+    return FaultImpactReport(
+        scheme=scheme,
+        healthy_performance=healthy_perf,
+        faulted_performance=faulted_perf,
+        fault_regret=1.0 - faulted_perf / healthy_perf,
+        downwind_freq_loss=loss,
+    )
+
+
+def most_resilient(
+    reports: Mapping[str, FaultImpactReport],
+) -> str:
+    """Scheme losing the least performance to the fault scenario.
+
+    Raises:
+        ReproError: for an empty report map.
+    """
+    if not reports:
+        raise ReproError("no fault impact reports given")
+    return min(
+        reports.values(),
+        key=lambda r: (r.fault_regret, -r.faulted_performance),
     ).scheme

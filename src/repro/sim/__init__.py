@@ -25,6 +25,13 @@ The engine advances in fixed steps equal to the power-manager interval
 9. ``Tracer`` / ``Auditor`` (optional) — time-series sampling and
    physical-invariant auditing.
 
+A :class:`~repro.faults.injector.FaultInjector` (optional) slots
+between the admitter and the placer, replaying a deterministic
+:class:`~repro.faults.schedule.FaultSchedule` (fan degradation, sensor
+faults, stuck DVFS, socket kills, power caps) while the power manager
+and auditor enforce graceful degradation; see
+:mod:`repro.faults`.
+
 All per-socket quantities are numpy arrays — batched over the DVFS
 ladder inside the power manager — so a step costs a fixed handful of
 vector operations regardless of socket count.
@@ -39,6 +46,8 @@ from .invariants import InvariantAuditor, InvariantViolation
 from .results import SimulationResult
 from .runner import run_once, run_sweep
 from .parallel import SweepCache, clear_shared_cache, execute_sweep
+from .checkpoint import SweepCheckpoint
+from .fingerprint import result_fingerprint
 
 __all__ = [
     "SimulationState",
@@ -54,8 +63,10 @@ __all__ = [
     "InvariantAuditor",
     "InvariantViolation",
     "SweepCache",
+    "SweepCheckpoint",
     "clear_shared_cache",
     "execute_sweep",
+    "result_fingerprint",
     "run_once",
     "run_sweep",
 ]

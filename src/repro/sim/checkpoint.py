@@ -1,0 +1,127 @@
+"""On-disk sweep checkpoints for crash-resilient, resumable sweeps.
+
+A long sweep that dies at point 180 of 200 — a worker segfault, an OOM
+kill, a pre-empted batch job — should not recompute the 179 finished
+points.  :class:`SweepCheckpoint` persists each completed point as one
+pickle file named by the point's full configuration key (see
+:func:`repro.sim.parallel.config_key`), so a re-run with the same
+configuration reloads every finished point and only simulates the
+remainder.  Because every point is deterministic in its configuration,
+a resumed sweep is bit-identical to an uninterrupted one.
+
+Durability properties:
+
+- **Atomic writes.** Each result is pickled to a temporary file in the
+  checkpoint directory and moved into place with :func:`os.replace`,
+  so a crash mid-write never leaves a truncated checkpoint under the
+  final name.
+- **Corruption tolerance.** A checkpoint that fails to unpickle (e.g.
+  a stray partial file from a hard power loss) is deleted and treated
+  as a miss — the point is simply recomputed.
+- **Keyed by content, not position.** Files are named by the config
+  key, so reordering the sweep grid, changing its size, or sharing one
+  directory between overlapping sweeps all resume correctly.
+
+Checkpoints store full :class:`~repro.sim.results.SimulationResult`
+objects and are only meant to be read back by the same code version
+that wrote them; delete the directory after upgrading.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..errors import SimulationError
+from .results import SimulationResult
+
+#: Suffix of finished-point files inside a checkpoint directory.
+CHECKPOINT_SUFFIX = ".ckpt.pkl"
+
+
+class SweepCheckpoint:
+    """A directory of per-point sweep checkpoints.
+
+    Attributes:
+        directory: Where point files live (created on first use).
+        loads: Points answered from disk so far.
+        saves: Points persisted to disk so far.
+        dropped: Corrupt files deleted and recomputed.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise SimulationError(
+                f"checkpoint path {self.directory} is not a directory"
+            )
+        self.loads = 0
+        self.saves = 0
+        self.dropped = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}{CHECKPOINT_SUFFIX}"
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """The checkpointed result for ``key``, or ``None``.
+
+        A file that exists but cannot be unpickled is deleted and
+        reported as a miss, so a half-written or stale checkpoint can
+        never poison a sweep.
+        """
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            self.dropped += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - unlink race
+                pass
+            return None
+        if not isinstance(result, SimulationResult):
+            self.dropped += 1
+            path.unlink()
+            return None
+        self.loads += 1
+        return result
+
+    def save(self, key: str, result: SimulationResult) -> None:
+        """Persist one finished point atomically.
+
+        The pickle is written to a temporary file in the same directory
+        and renamed over the final path, so readers only ever see
+        complete checkpoints.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".tmp-", suffix=CHECKPOINT_SUFFIX, dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.saves += 1
+
+    def __len__(self) -> int:
+        """Number of finished points currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(
+            1
+            for name in os.listdir(self.directory)
+            if name.endswith(CHECKPOINT_SUFFIX)
+            and not name.startswith(".tmp-")
+        )

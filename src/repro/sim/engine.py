@@ -80,6 +80,7 @@ class Simulation:
         fan_controller=None,
         trace_config=None,
         auditor=None,
+        fault_schedule=None,
         extra_components: Sequence[StepComponent] = (),
     ):
         """Bind a run configuration.
@@ -103,6 +104,11 @@ class Simulation:
                 InvariantAuditor`; checks physical invariants every
                 ``auditor.interval_steps`` steps and raises on
                 violation.  Reset at every run start.
+            fault_schedule: Optional :class:`repro.faults.schedule.
+                FaultSchedule`; replayed deterministically by a
+                :class:`repro.faults.injector.FaultInjector` spliced
+                into the pipeline.  Runs without one (or with an empty
+                schedule) are bit-identical to the fault-free engine.
             extra_components: Additional :class:`~repro.sim.pipeline.
                 StepComponent` observers appended after the standard
                 pipeline.
@@ -114,6 +120,7 @@ class Simulation:
         self.fan_controller = fan_controller
         self.trace_config = trace_config
         self.auditor = auditor
+        self.fault_schedule = fault_schedule
         self.extra_components = tuple(extra_components)
 
     def build_components(self) -> List[StepComponent]:
@@ -123,11 +130,18 @@ class Simulation:
         pipeline; see ``docs/architecture.md`` for the ordering
         contract.
         """
+        fault_injector = None
+        if self.fault_schedule is not None:
+            # Local import: repro.faults imports the pipeline module.
+            from ..faults.injector import FaultInjector
+
+            fault_injector = FaultInjector(self.fault_schedule)
         return build_pipeline(
             migrator=self.migrator,
             fan_controller=self.fan_controller,
             trace_config=self.trace_config,
             auditor=self.auditor,
+            fault_injector=fault_injector,
             extra_components=self.extra_components,
         )
 

@@ -24,6 +24,18 @@ Checked invariants:
   carry exactly zero remaining work;
 - cumulative energy is monotone non-decreasing between audits.
 
+Under a fault schedule (a :class:`repro.faults.injector.FaultState`
+passed as ``faults``) the envelopes become fault-aware:
+
+- a killed socket must draw exactly zero power (and is exempted from
+  the gated floor);
+- a thermally tripped socket must sit at the ladder floor once the
+  trip has been latched for ``trip_response_steps`` engine steps;
+- a socket continuously tripped for ``trip_recovery_taus`` heat-sink
+  time constants must have cooled back below the trip temperature
+  (within the lag tolerance) — the check that a broken emergency
+  response cannot pass.
+
 Auditing reads state only — it never mutates anything — so an audited
 run produces bit-identical results to an unaudited one.
 """
@@ -159,6 +171,7 @@ class InvariantAuditor:
         step: int,
         energy_j: float,
         airflow_scale: float = 1.0,
+        faults=None,
     ) -> None:
         """Audit the state after engine step ``step``.
 
@@ -172,6 +185,10 @@ class InvariantAuditor:
                 rise by ``1/scale``, so the sink-lag check compares
                 the sink against the rise *at design airflow* — the
                 regime the lag tolerance is calibrated for.
+            faults: Optional :class:`repro.faults.injector.FaultState`
+                of the run; enables the fault-aware envelopes (dead
+                sockets hold zero power, tripped sockets respect the
+                emergency-throttle response).
 
         Raises:
             InvariantViolation: on the first violated invariant.
@@ -194,14 +211,16 @@ class InvariantAuditor:
             "ambient >= inlet", ambient, params.inlet_c - _EPS, step
         )
         lag = self.lag_tolerance_c
-        if airflow_scale < 1.0:
+        degraded = faults is not None and faults.airflow_degraded
+        if airflow_scale < 1.0 or degraded:
             # Rises above inlet scale as 1/airflow; the sink tracks
             # them with the same lag either way, so bound it by the
-            # design-airflow ambient.
-            design_ambient = (
-                params.inlet_c
-                + (ambient - params.inlet_c) * airflow_scale
-            )
+            # design-airflow ambient.  Degraded fan lanes divide their
+            # sockets' rises by a further per-socket factor.
+            rise = (ambient - params.inlet_c) * airflow_scale
+            if degraded:
+                rise = rise * faults.airflow_factor
+            design_ambient = params.inlet_c + rise
         else:
             design_ambient = ambient
         self._check_pair(
@@ -213,6 +232,10 @@ class InvariantAuditor:
         gated = topology.gated_power_array
         upper = self._power_upper_bound(topology, params)
         low_bad = power < gated - tol
+        if faults is not None:
+            # Killed sockets legitimately sit below the gated floor —
+            # they must instead hold *exactly* zero (checked below).
+            low_bad &= faults.alive
         if low_bad.any():
             socket = int(np.argmax(low_bad))
             raise InvariantViolation(
@@ -256,6 +279,9 @@ class InvariantAuditor:
                 f"idle socket holds {remaining[socket]:.6f} ms of work",
             )
 
+        if faults is not None:
+            self._check_fault_envelopes(state, step, faults)
+
         if energy_j < self._last_energy_j - _EPS:
             raise InvariantViolation(
                 "energy monotone",
@@ -267,6 +293,63 @@ class InvariantAuditor:
             )
         self._last_energy_j = energy_j
         self.n_audits += 1
+
+    def _check_fault_envelopes(self, state, step: int, faults) -> None:
+        """The degraded-operation envelopes (see module docstring)."""
+        power = state.power_w
+        dead = ~faults.alive
+        dead_hot = dead & (np.abs(power) > _EPS)
+        if dead_hot.any():
+            socket = int(np.argmax(dead_hot))
+            raise InvariantViolation(
+                "dead sockets draw zero power",
+                step,
+                socket,
+                float(power[socket]),
+                f"killed socket draws {power[socket]:.6f} W",
+            )
+
+        tripped = faults.tripped
+        if not tripped.any():
+            return
+        response = faults.response
+        params = state.params
+        elapsed = step - faults.trip_step
+        floor_due = tripped & (elapsed >= response.trip_response_steps)
+        min_mhz = float(state.ladder.min_mhz)
+        floor_bad = floor_due & (state.freq_mhz > min_mhz + _EPS)
+        if floor_bad.any():
+            socket = int(np.argmax(floor_bad))
+            raise InvariantViolation(
+                "tripped sockets throttle to the floor",
+                step,
+                socket,
+                float(state.freq_mhz[socket]),
+                f"socket tripped {int(elapsed[socket])} steps ago "
+                f"still runs at {state.freq_mhz[socket]:.0f} MHz "
+                f"(floor {min_mhz:.0f} MHz)",
+            )
+
+        dt = params.power_manager_interval_s
+        recovery_steps = int(
+            np.ceil(
+                response.trip_recovery_taus * params.socket_tau_s / dt
+            )
+        )
+        recovered_due = tripped & (elapsed >= recovery_steps)
+        limit = faults.trip_c + self.lag_tolerance_c
+        recover_bad = recovered_due & (state.chip_c > limit)
+        if recover_bad.any():
+            socket = int(np.argmax(recover_bad))
+            raise InvariantViolation(
+                "tripped sockets cool below the trip point",
+                step,
+                socket,
+                float(state.chip_c[socket]),
+                f"socket tripped {int(elapsed[socket])} steps ago "
+                f"still at {state.chip_c[socket]:.2f} degC "
+                f"(envelope {limit:.2f} degC)",
+            )
 
     @staticmethod
     def _power_upper_bound(topology, params) -> np.ndarray:

@@ -16,30 +16,57 @@ the results bit-identical to serial execution:
   ``fork`` (the only start method that is both cheap and inherits the
   loaded modules), or when the pool fails to come up.
 
+The pool path is additionally *crash-resilient*: a worker that dies
+(OOM kill, segfault) breaks the pool, and the harness rebuilds it and
+retries only the unfinished points, with exponential backoff, up to
+``max_retries`` rounds before falling back to in-process serial
+execution for whatever is left.  Deterministic failures — anything in
+the :class:`~repro.errors.ReproError` hierarchy, such as an
+:class:`~repro.sim.invariants.InvariantViolation` — propagate
+immediately: re-running a deterministic simulation cannot change its
+outcome.  An optional per-point ``timeout_s`` bounds hung workers.
+
 A process-wide :class:`SweepCache` memoises results keyed on the full
 configuration (topology, parameters, scheduler name, benchmark set,
-load), so repeated figure runs in one process — e.g. Figure 14 and
-Figure 15 share their entire grid — skip identical configurations.
+load, fault schedule), so repeated figure runs in one process — e.g.
+Figure 14 and Figure 15 share their entire grid — skip identical
+configurations.  The cache holds at most ``REPRO_CACHE_MAX`` entries
+(least-recently-used eviction), bounding sweep memory on large grids.
 Cached results are returned by reference; callers must treat
 :class:`~repro.sim.results.SimulationResult` objects as read-only
-(which every experiment already does).
+(which every experiment already does).  For durability *across*
+processes, pass a :class:`~repro.sim.checkpoint.SweepCheckpoint`:
+every finished point is persisted immediately, so an interrupted sweep
+resumes bit-identically.
 """
 
 from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
+import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config.parameters import SimulationParameters
+from ..errors import ConfigurationError, ReproError, SimulationError
 from ..server.topology import ServerTopology
 from ..workloads.benchmark import BenchmarkSet
+from .checkpoint import SweepCheckpoint
 from .invariants import DEFAULT_INTERVAL_STEPS
 from .results import SimulationResult
 
 #: One sweep point: (scheduler name, benchmark set, load).
 SweepPoint = Tuple[str, BenchmarkSet, float]
+
+#: Environment variable bounding the in-process sweep cache.
+ENV_CACHE_MAX = "REPRO_CACHE_MAX"
+
+#: Default cache bound when ``REPRO_CACHE_MAX`` is unset.
+DEFAULT_CACHE_MAX = 256
 
 
 def topology_token(topology: ServerTopology) -> bytes:
@@ -80,29 +107,69 @@ def config_key(
     scheduler_name: str,
     benchmark_set: BenchmarkSet,
     load: float,
+    fault_schedule=None,
 ) -> str:
-    """Memo-cache key for one fully specified sweep point."""
+    """Memo-cache key for one fully specified sweep point.
+
+    Args:
+        fault_schedule: Optional :class:`~repro.faults.schedule.
+            FaultSchedule` active for the point; its content fingerprint
+            joins the key, so faulted and fault-free runs of the same
+            grid point never collide in the cache or on disk.
+    """
     digest = hashlib.sha256()
     digest.update(topology_token(topology))
     digest.update(repr(params).encode())
     digest.update(
         f"|{scheduler_name}|{benchmark_set.value}|{load!r}".encode()
     )
+    if fault_schedule is not None:
+        digest.update(b"|faults:")
+        digest.update(fault_schedule.fingerprint().encode())
     return digest.hexdigest()
 
 
+def _env_cache_max() -> Optional[int]:
+    """Cache bound from ``REPRO_CACHE_MAX`` (``<= 0`` means unbounded)."""
+    raw = os.environ.get(ENV_CACHE_MAX)
+    if raw is None:
+        return DEFAULT_CACHE_MAX
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{ENV_CACHE_MAX} must be an integer, got {raw!r}"
+        ) from exc
+    return value if value > 0 else None
+
+
 class SweepCache:
-    """Process-local memo cache for sweep results.
+    """Bounded, process-local LRU memo cache for sweep results.
+
+    Holds at most ``max_entries`` results, evicting the least recently
+    *used* entry (both hits and inserts refresh recency) when full — a
+    month-long grid of large result objects cannot grow memory without
+    bound.
 
     Attributes:
+        max_entries: Capacity; ``None`` means unbounded.
         hits: Lookups answered from the cache.
         misses: Lookups that fell through to a simulation run.
+        evictions: Entries dropped to respect ``max_entries``.
     """
 
-    def __init__(self):
-        self._store: Dict[str, SimulationResult] = {}
+    def __init__(self, max_entries: Optional[int] = -1):
+        if max_entries == -1:
+            max_entries = _env_cache_max()
+        if max_entries is not None and max_entries <= 0:
+            raise ConfigurationError(
+                "cache max_entries must be positive or None (unbounded)"
+            )
+        self.max_entries = max_entries
+        self._store: "OrderedDict[str, SimulationResult]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: str) -> Optional[SimulationResult]:
         """The cached result for ``key``, counting the lookup."""
@@ -111,17 +178,28 @@ class SweepCache:
             self.misses += 1
         else:
             self.hits += 1
+            self._store.move_to_end(key)
         return result
 
     def put(self, key: str, result: SimulationResult) -> None:
-        """Store a result under its configuration key."""
+        """Store a result under its configuration key, evicting LRU."""
         self._store[key] = result
+        self._store.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the hit/miss/eviction counters."""
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def keys(self) -> List[str]:
+        """Cached keys, least recently used first."""
+        return list(self._store)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -142,6 +220,7 @@ def _run_point(
     point: SweepPoint,
     audit: bool,
     audit_interval: int,
+    fault_schedule=None,
 ) -> SimulationResult:
     """Execute one sweep point; runs in workers and in the serial path.
 
@@ -165,6 +244,7 @@ def _run_point(
         benchmark_set,
         load,
         auditor=auditor,
+        fault_schedule=fault_schedule,
     )
 
 
@@ -184,6 +264,11 @@ def execute_sweep(
     audit: bool = False,
     audit_interval: int = DEFAULT_INTERVAL_STEPS,
     cache: Optional[SweepCache] = None,
+    fault_schedule=None,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.25,
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> List[SimulationResult]:
     """Run every sweep point, in parallel where possible.
 
@@ -199,6 +284,24 @@ def execute_sweep(
         audit_interval: Audit cadence in engine steps.
         cache: Optional memo cache consulted before and filled after
             execution.
+        fault_schedule: Optional :class:`~repro.faults.schedule.
+            FaultSchedule` replayed in every point (the schedule also
+            joins the cache/checkpoint key).
+        timeout_s: Optional per-point wall-clock bound in the pool
+            path; a point that exceeds it counts as a failed attempt
+            and is never retried serially (a hung simulation would hang
+            the parent too).
+        max_retries: Pool rounds re-attempted after worker crashes or
+            timeouts before falling back to serial execution of the
+            leftover points.  Deterministic
+            :class:`~repro.errors.ReproError` failures are never
+            retried.
+        retry_backoff_s: Base of the exponential sleep between retry
+            rounds.
+        checkpoint: Optional :class:`~repro.sim.checkpoint.
+            SweepCheckpoint`; finished points load from it up front and
+            every newly computed point persists to it *immediately*, so
+            a sweep killed mid-flight resumes bit-identically.
 
     Returns:
         One :class:`~repro.sim.results.SimulationResult` per point, in
@@ -207,42 +310,79 @@ def execute_sweep(
     Raises:
         SimulationError: propagated from any point (including
             :class:`~repro.sim.invariants.InvariantViolation` raised
-            inside a worker process).
+            inside a worker process), or raised for points that
+            exhausted their timeout attempts.
     """
+    if max_retries < 0:
+        raise ConfigurationError("max_retries must be >= 0")
+    if retry_backoff_s < 0:
+        raise ConfigurationError("retry_backoff_s must be >= 0")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigurationError("timeout_s must be positive")
+
     results: List[Optional[SimulationResult]] = [None] * len(points)
     pending: List[int] = []
     keys: List[Optional[str]] = [None] * len(points)
+    need_keys = cache is not None or checkpoint is not None
     for i, point in enumerate(points):
+        if need_keys:
+            keys[i] = config_key(
+                topology,
+                params,
+                *point,
+                fault_schedule=fault_schedule,
+            )
         if cache is not None:
-            keys[i] = config_key(topology, params, *point)
             hit = cache.get(keys[i])
             if hit is not None:
                 results[i] = hit
                 continue
+        if checkpoint is not None:
+            loaded = checkpoint.load(keys[i])
+            if loaded is not None:
+                results[i] = loaded
+                if cache is not None:
+                    cache.put(keys[i], loaded)
+                continue
         pending.append(i)
+
+    def record(i: int, result: SimulationResult) -> None:
+        results[i] = result
+        if checkpoint is not None:
+            checkpoint.save(keys[i], result)
+        if cache is not None:
+            cache.put(keys[i], result)
 
     if pending:
         workers = min(int(max_workers), len(pending))
+        serial = list(pending)
         if workers > 1 and _fork_available():
-            computed = _run_pool(
+            serial = _run_pool(
                 topology,
                 params,
-                [points[i] for i in pending],
+                points,
+                pending,
                 workers,
                 audit,
                 audit_interval,
+                fault_schedule,
+                timeout_s,
+                max_retries,
+                retry_backoff_s,
+                record,
             )
-        else:
-            computed = [
+        for i in serial:
+            record(
+                i,
                 _run_point(
-                    topology, params, points[i], audit, audit_interval
-                )
-                for i in pending
-            ]
-        for i, result in zip(pending, computed):
-            results[i] = result
-            if cache is not None:
-                cache.put(keys[i], result)
+                    topology,
+                    params,
+                    points[i],
+                    audit,
+                    audit_interval,
+                    fault_schedule,
+                ),
+            )
     return results  # type: ignore[return-value]
 
 
@@ -250,34 +390,96 @@ def _run_pool(
     topology: ServerTopology,
     params: SimulationParameters,
     points: Sequence[SweepPoint],
+    pending: Sequence[int],
     workers: int,
     audit: bool,
     audit_interval: int,
-) -> List[SimulationResult]:
-    """Fan points out over a fork-based process pool, in order.
+    fault_schedule,
+    timeout_s: Optional[float],
+    max_retries: int,
+    retry_backoff_s: float,
+    record: Callable[[int, SimulationResult], None],
+) -> List[int]:
+    """Fan points out over a fork-based process pool, with recovery.
 
-    Falls back to the serial loop if the pool cannot be created (e.g.
-    sandboxes that expose ``fork`` but forbid new processes).
+    Runs up to ``1 + max_retries`` pool rounds.  Each round submits
+    every still-unfinished point; successes are recorded immediately
+    (checkpoint durability), deterministic :class:`ReproError` failures
+    propagate, and crash-type failures (broken pool, timeout, pickling
+    trouble) leave the point for the next round.  Returns the indices
+    still unfinished after the last round, for the caller's serial
+    fallback — except points that *timed out*, which raise instead:
+    a simulation that outlived its budget in a worker would also hang
+    the parent process.
     """
     context = multiprocessing.get_context("fork")
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
-        ) as pool:
-            futures = [
-                pool.submit(
+    remaining: List[int] = list(pending)
+    timed_out: Dict[int, int] = {}
+    for round_no in range(1 + max_retries):
+        if not remaining:
+            break
+        if round_no and retry_backoff_s > 0:
+            time.sleep(retry_backoff_s * 2 ** (round_no - 1))
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(remaining)),
+                mp_context=context,
+            )
+        except (OSError, PermissionError):
+            return remaining  # sandboxed: no new processes at all
+        hung = False
+        try:
+            futures = {
+                i: pool.submit(
                     _run_point,
                     topology,
                     params,
-                    point,
+                    points[i],
                     audit,
                     audit_interval,
+                    fault_schedule,
                 )
-                for point in points
-            ]
-            return [future.result() for future in futures]
-    except (OSError, PermissionError):
-        return [
-            _run_point(topology, params, point, audit, audit_interval)
-            for point in points
-        ]
+                for i in remaining
+            }
+            still: List[int] = []
+            order = iter(list(remaining))
+            for i in order:
+                try:
+                    result = futures[i].result(timeout=timeout_s)
+                except ReproError:
+                    raise  # deterministic: a retry cannot change it
+                except FutureTimeoutError:
+                    timed_out[i] = timed_out.get(i, 0) + 1
+                    hung = True
+                    still.append(i)
+                    # The pool is wedged on the hung worker.  Harvest
+                    # whatever already finished, requeue the rest, and
+                    # abandon the round.
+                    for j in order:
+                        done = futures[j]
+                        if done.done() and done.exception() is None:
+                            record(j, done.result())
+                        else:
+                            still.append(j)
+                    break
+                except Exception:
+                    # Crash-type failure (broken pool, pickling, OS):
+                    # leave the point for the next round.
+                    still.append(i)
+                else:
+                    record(i, result)
+            remaining = still
+        finally:
+            if hung:
+                # Do not wait on the hung worker; kill the pool.
+                for proc in getattr(pool, "_processes", {}).values():
+                    proc.terminate()
+            pool.shutdown(wait=not hung, cancel_futures=True)
+    hopeless = [i for i in remaining if timed_out.get(i, 0) > 0]
+    if hopeless:
+        raise SimulationError(
+            f"sweep points {hopeless} exceeded the {timeout_s:g}s "
+            f"per-point timeout in {max(timed_out.values())} attempt(s); "
+            "not retrying serially (a hung point would hang the parent)"
+        )
+    return remaining

@@ -14,6 +14,7 @@ exactly the values its predecessor produced within the same step.  The
 fixed order is::
 
     ArrivalAdmitter   admit arrivals into the central queue
+    FaultInjector     (optional) apply due fault transitions
     Placer            scheduling decisions over idle sockets
     Migrator          (optional) periodic thermal-aware migration
     PowerManager      DVFS selection and electrical power draw
@@ -153,6 +154,12 @@ class EngineContext:
     fan_power_w: float = 0.0
     fan_active: bool = False
 
+    # Fault machinery (a repro.faults.injector.FaultState when a fault
+    # schedule is configured).  Every fault hook in the pipeline is
+    # gated on this being non-None, which keeps fault-free runs
+    # bit-identical to the pre-fault engine.
+    fault_state: Optional[object] = None
+
     @classmethod
     def create(
         cls,
@@ -255,7 +262,8 @@ class Placer(StepComponent):
 
     The policy sees only the read-only :class:`~repro.sim.view.
     SchedulerView`; all mutation (the actual assignment) happens here
-    through the engine-owned state.
+    through the engine-owned state.  Killed sockets are excluded from
+    the idle set, so a policy can never be offered a dead socket.
     """
 
     def on_run_start(self, ctx: EngineContext) -> None:
@@ -269,6 +277,9 @@ class Placer(StepComponent):
         scheduler = ctx.scheduler
         view = ctx.view
         idle = state.idle_socket_ids()
+        faults = ctx.fault_state
+        if faults is not None and faults.any_dead:
+            idle = idle[faults.alive[idle]]
         while queue and idle.size:
             job = queue.popleft()
             socket_id = int(scheduler.select_socket(job, idle, view))
@@ -316,6 +327,12 @@ class PowerManager(StepComponent):
     socket power: dynamic + leakage while busy, the gated floor while
     idle.  The leakage vector is computed once and shared with the
     frequency selection — both need the identical quantity.
+
+    Under a fault schedule this phase is also the graceful-degradation
+    seat: it advances the thermal-trip machine on the **true** chip
+    temperatures, applies wedged-ladder / power-cap / trip frequency
+    overrides before power is derived, and zeroes the draw of killed
+    sockets (see :class:`repro.faults.injector.FaultState`).
     """
 
     def __init__(self) -> None:
@@ -349,6 +366,12 @@ class PowerManager(StepComponent):
             leakage_w=leak,
             workspace=self._workspace,
         )
+        faults = ctx.fault_state
+        if faults is not None:
+            faults.update_trips(state.chip_c, ctx.step, ctx.dt)
+            freq = faults.override_frequencies(
+                freq, float(ladder.min_mhz)
+            )
         busy = state.busy
         state.freq_mhz = np.where(busy, freq, float(ladder.min_mhz))
         # busy_power = dyn_max * (freq / max) ** exp + leak, in place
@@ -360,6 +383,8 @@ class PowerManager(StepComponent):
         busy_power *= state.dyn_max_w
         busy_power += leak
         power = np.where(busy, busy_power, ctx.gated_power)
+        if faults is not None:
+            faults.zero_dead_power(power)
         state.power_w = power
         ctx.power = power
 
@@ -518,6 +543,12 @@ class ThermalUpdater(StepComponent):
         ambient -= inlet
         if ctx.airflow_scale != 1.0:
             ambient /= ctx.airflow_scale
+        faults = ctx.fault_state
+        if faults is not None and faults.airflow_degraded:
+            # Degraded fan lanes amplify their sockets' entry rises as
+            # 1/residual-airflow, on top of any global fan-control
+            # scale.
+            ambient /= faults.airflow_factor
         ambient += inlet
         state.ambient_c = ambient
         theta = np.multiply(ctx.theta_slope, power, out=self._theta)
@@ -652,6 +683,7 @@ class Auditor(StepComponent):
             ctx.step,
             ctx.result.energy_j,
             airflow_scale=ctx.airflow_scale,
+            faults=ctx.fault_state,
         )
 
 
@@ -660,19 +692,29 @@ def build_pipeline(
     fan_controller=None,
     trace_config=None,
     auditor=None,
+    fault_injector=None,
     extra_components: Sequence[StepComponent] = (),
 ) -> List[StepComponent]:
     """The standard component pipeline in contract order.
 
     ``ArrivalAdmitter``, ``Placer``, ``PowerManager``, ``WorkRetirer``,
     ``ThermalUpdater`` and ``MetricsAccumulator`` are always present;
-    ``Migrator``, ``FanControl``, ``Tracer`` and ``Auditor`` join only
-    when configured.  ``extra_components`` are appended after the
-    standard pipeline — safe for read-only observers; components that
-    mutate state must instead be spliced in explicitly at the right
-    phase (see ``docs/architecture.md``).
+    ``Migrator``, ``FanControl``, ``Tracer``, ``Auditor`` and the
+    ``fault_injector`` (a :class:`repro.faults.injector.FaultInjector`)
+    join only when configured.  The fault injector is spliced between
+    ``ArrivalAdmitter`` and ``Placer``: fault transitions must land
+    before any placement decision so a socket killed at time t never
+    receives a job at time t, and the injector's view swap must happen
+    before the placer hands the view to the scheduler's ``reset``.
+    ``extra_components`` are appended after the standard pipeline —
+    safe for read-only observers; components that mutate state must
+    instead be spliced in explicitly at the right phase (see
+    ``docs/architecture.md``).
     """
-    components: List[StepComponent] = [ArrivalAdmitter(), Placer()]
+    components: List[StepComponent] = [ArrivalAdmitter()]
+    if fault_injector is not None:
+        components.append(fault_injector)
+    components.append(Placer())
     if migrator is not None:
         components.append(Migrator(migrator))
     components.append(PowerManager())

@@ -43,6 +43,9 @@ class SimulationResult:
             a fan controller).
         mean_airflow_scale: Time-averaged relative airflow (1.0 means
             the fixed design airflow).
+        fault_summary: Digest of the run's fault activity (schedule
+            fingerprint, trips, evictions), or ``None`` for fault-free
+            runs.
     """
 
     scheduler_name: str
@@ -62,6 +65,7 @@ class SimulationResult:
     cooling_energy_j: float = 0.0
     mean_airflow_scale: float = 1.0
     trace: Optional[object] = None
+    fault_summary: Optional[dict] = None
 
     def __post_init__(self) -> None:
         n = self.topology.n_sockets

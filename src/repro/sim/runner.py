@@ -20,6 +20,7 @@ def run_once(
     benchmark_set: BenchmarkSet,
     load: float,
     auditor=None,
+    fault_schedule=None,
 ) -> SimulationResult:
     """Run one (scheduler, benchmark set, load) configuration.
 
@@ -36,6 +37,8 @@ def run_once(
         auditor: Optional fresh :class:`~repro.sim.invariants.
             InvariantAuditor` checking physical invariants during the
             run.
+        fault_schedule: Optional :class:`~repro.faults.schedule.
+            FaultSchedule` replayed deterministically during the run.
     """
     arrivals = ArrivalProcess(
         benchmark_set=benchmark_set,
@@ -46,7 +49,11 @@ def run_once(
     )
     jobs = arrivals.generate(params.sim_time_s)
     return Simulation(
-        topology, params, scheduler, auditor=auditor
+        topology,
+        params,
+        scheduler,
+        auditor=auditor,
+        fault_schedule=fault_schedule,
     ).run(jobs)
 
 
@@ -61,6 +68,11 @@ def run_sweep(
     audit_interval: int = DEFAULT_INTERVAL_STEPS,
     use_cache: bool = False,
     cache=None,
+    fault_schedule=None,
+    timeout_s=None,
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.25,
+    checkpoint_dir=None,
 ) -> Dict[Tuple[str, BenchmarkSet, float], SimulationResult]:
     """Run the full cross product of schedulers, sets and loads.
 
@@ -86,11 +98,25 @@ def run_sweep(
             over identical configurations skip the simulation.
         cache: Explicit :class:`~repro.sim.parallel.SweepCache`
             overriding ``use_cache``.
+        fault_schedule: Optional :class:`~repro.faults.schedule.
+            FaultSchedule` replayed deterministically in *every* grid
+            point (it also joins the cache/checkpoint key).
+        timeout_s: Optional per-point wall-clock bound in the parallel
+            path (see :func:`~repro.sim.parallel.execute_sweep`).
+        max_retries: Pool rounds re-attempted after worker crashes
+            before the leftover points fall back to serial execution.
+        retry_backoff_s: Base of the exponential sleep between retry
+            rounds.
+        checkpoint_dir: Optional directory; every finished point is
+            persisted there immediately (atomic per-point pickles), and
+            a re-run with the same configuration resumes bit-identically
+            from whatever completed.
 
     Returns:
         Mapping from ``(scheduler name, benchmark set, load)`` to the
         run's :class:`SimulationResult`.
     """
+    from .checkpoint import SweepCheckpoint
     from .parallel import execute_sweep, shared_cache
 
     points = [
@@ -101,6 +127,9 @@ def run_sweep(
     ]
     if cache is None and use_cache:
         cache = shared_cache
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = SweepCheckpoint(checkpoint_dir)
     results = execute_sweep(
         topology,
         params,
@@ -109,5 +138,10 @@ def run_sweep(
         audit=audit,
         audit_interval=audit_interval,
         cache=cache,
+        fault_schedule=fault_schedule,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+        checkpoint=checkpoint,
     )
     return dict(zip(points, results))

@@ -157,3 +157,63 @@ class SchedulerView:
     def idle_socket_ids(self) -> np.ndarray:
         """Indices of sockets with no running job (fresh array)."""
         return self._state.idle_socket_ids()
+
+
+class FaultAwareSchedulerView(SchedulerView):
+    """Scheduler view reflecting faulty telemetry and dead sockets.
+
+    Installed by the :class:`repro.faults.injector.FaultInjector` in
+    place of the plain view whenever a fault schedule is configured.
+    Two differences from the base view:
+
+    - every temperature channel (``chip_c``, ``sink_c``, ``ambient_c``,
+      ``history_c``) returns the *observed* values — the true state
+      with any active sensor bias / stuck / dropout overlays applied —
+      so policies (including the coupling predictor) decide on what a
+      real management plane would see, while the physics keeps running
+      on the true temperatures;
+    - :meth:`idle_socket_ids` excludes killed sockets, so neither the
+      placer nor a migration policy can target a dead socket.
+
+    With no fault active the overlays are zero-copy pass-throughs, so
+    a run under an *empty* schedule reads the identical values as a
+    fault-free run.
+    """
+
+    __slots__ = ("_faults",)
+
+    def __init__(self, state: "SimulationState", faults) -> None:
+        super().__init__(state)
+        object.__setattr__(self, "_faults", faults)
+
+    @property
+    def chip_c(self) -> np.ndarray:
+        """Observed chip temperatures, degC."""
+        return self._faults.observe("chip_c", self._state.thermal.chip_c)
+
+    @property
+    def sink_c(self) -> np.ndarray:
+        """Observed heat-sink temperatures, degC."""
+        return self._faults.observe("sink_c", self._state.thermal.sink_c)
+
+    @property
+    def ambient_c(self) -> np.ndarray:
+        """Observed entry air temperatures, degC."""
+        return self._faults.observe("ambient_c", self._state.ambient_c)
+
+    @property
+    def history_c(self) -> np.ndarray:
+        """Observed smoothed chip temperatures, degC."""
+        return self._faults.observe("history_c", self._state.history_c)
+
+    @property
+    def alive(self) -> np.ndarray:
+        """Per-socket service flags (``False`` = killed)."""
+        return _readonly(self._faults.alive)
+
+    def idle_socket_ids(self) -> np.ndarray:
+        """Idle **and alive** socket indices (fresh array)."""
+        ids = self._state.idle_socket_ids()
+        if self._faults.any_dead:
+            return ids[self._faults.alive[ids]]
+        return ids

@@ -14,6 +14,7 @@ cooling-performance trade-off that motivates density optimized design.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -38,15 +39,16 @@ class FanController:
         min_scale: Lower bound on relative airflow (fans never stop).
         max_scale: Upper bound on relative airflow.
         fan: Fan model used for power accounting (per-server
-            aggregate).
-        interval_s: Control period, seconds.
+            aggregate); ``None`` selects a default bank sized for the
+            design airflow in ``__post_init__``.
+        interval_s: Control period, seconds (must be positive).
     """
 
     design_total_cfm: float = 400.0
     outlet_budget_c: float = 20.0
     min_scale: float = 0.4
     max_scale: float = 1.25
-    fan: FanModel = None
+    fan: Optional[FanModel] = None
     interval_s: float = 0.05
 
     def __post_init__(self) -> None:

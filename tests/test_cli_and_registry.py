@@ -13,8 +13,8 @@ from repro.experiments.registry import (
 
 
 class TestRegistry:
-    def test_fifteen_artifacts(self):
-        assert len(EXPERIMENTS) == 15
+    def test_sixteen_artifacts(self):
+        assert len(EXPERIMENTS) == 16
 
     def test_every_experiment_has_run_and_main(self):
         for experiment in all_experiments():
@@ -30,7 +30,14 @@ class TestRegistry:
 
     def test_heavy_experiments_are_the_simulations(self):
         heavy = {e.name for e in all_experiments() if e.heavy}
-        assert heavy == {"fig03", "fig11", "fig13", "fig14", "fig15"}
+        assert heavy == {
+            "fig03",
+            "fig11",
+            "fig13",
+            "fig14",
+            "fig15",
+            "faults",
+        }
 
     def test_get_experiment(self):
         assert get_experiment("fig14").heavy
