@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Fail CI when measured line coverage drops below the gate.
+
+Reads a JSON coverage report produced by either
+
+- ``coverage json`` (coverage.py; the percentage lives at
+  ``totals.percent_covered``), or
+- ``scripts/measure_coverage.py`` (the stdlib fallback tracer; the
+  percentage lives at top-level ``percent``),
+
+and compares it against ``--min-percent``.  The gate value lives in the
+CI workflow so lowering it shows up in review.
+
+Usage::
+
+    python scripts/coverage_gate.py coverage.json --min-percent 92.4
+
+Exit status: 0 when the gate holds, 1 when coverage is below the gate,
+2 when the report is missing or unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def extract_percent(report: dict) -> float:
+    """The total covered percentage from either report format."""
+    totals = report.get("totals")
+    if isinstance(totals, dict) and "percent_covered" in totals:
+        return float(totals["percent_covered"])
+    if "percent" in report:
+        return float(report["percent"])
+    raise KeyError(
+        "report has neither totals.percent_covered (coverage.py) "
+        "nor percent (measure_coverage.py)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="JSON coverage report path")
+    parser.add_argument(
+        "--min-percent",
+        type=float,
+        required=True,
+        help="minimum acceptable total line coverage",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        percent = extract_percent(report)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"coverage gate: cannot read {args.report}: {exc}", file=sys.stderr)
+        return 2
+    if percent < args.min_percent:
+        print(
+            f"coverage gate FAILED: {percent:.2f}% < {args.min_percent:.2f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"coverage gate ok: {percent:.2f}% >= {args.min_percent:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

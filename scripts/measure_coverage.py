@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Stdlib-only line-coverage measurement of ``src/repro`` over the suite.
+
+This is the fallback measurement tool for environments where
+``coverage.py`` cannot be installed.  It mirrors coverage.py's line
+model closely enough to calibrate the CI gate:
+
+- *executable lines* are taken from the compiled code objects'
+  ``co_lines()`` tables (every statement line, including ``def`` /
+  ``class`` headers), minus lines carrying a ``pragma: no cover``
+  marker and minus module/class/function docstring lines;
+- *covered lines* are recorded by a :func:`sys.settrace` tracer that
+  activates only for frames whose code lives under ``src/repro``;
+- the percentage is ``100 * covered / executable`` over **every**
+  ``.py`` file beneath ``src/repro``, imported or not — the same
+  denominator ``coverage run --source`` uses.
+
+Like a plain (concurrency-unaware) ``coverage run``, lines executed
+only inside forked sweep workers or spawned subprocesses are not
+credited to the parent's measurement.
+
+Usage::
+
+    python scripts/measure_coverage.py [-o coverage_lines.json] [pytest args]
+
+Exit status is pytest's exit status, so a failing suite fails the
+measurement run too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import os
+import sys
+import threading
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+PACKAGE = os.path.join(SRC, "repro")
+
+PRAGMA = "pragma: no cover"
+
+
+def _docstring_lines(tree: ast.AST) -> set:
+    """Line numbers spanned by module/class/function docstrings."""
+    lines = set()
+    for node in ast.walk(tree):
+        if not isinstance(
+            node,
+            (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+        ):
+            continue
+        body = getattr(node, "body", [])
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            expr = body[0]
+            lines.update(range(expr.lineno, (expr.end_lineno or expr.lineno) + 1))
+    return lines
+
+
+def executable_lines(path: str) -> set:
+    """The measurable statement lines of one source file."""
+    with open(path, "rb") as handle:
+        source = handle.read()
+    code = compile(source, path, "exec")
+    lines = set()
+    stack = [code]
+    while stack:
+        current = stack.pop()
+        for const in current.co_consts:
+            if isinstance(const, type(current)):
+                stack.append(const)
+        for _start, _end, line in current.co_lines():
+            if line is not None and line > 0:
+                lines.add(line)
+    text = source.decode("utf-8")
+    source_lines = text.splitlines()
+    lines = {
+        line
+        for line in lines
+        if line <= len(source_lines) and PRAGMA not in source_lines[line - 1]
+    }
+    lines -= _docstring_lines(ast.parse(text))
+    return lines
+
+
+def collect_files() -> dict:
+    """Map every package source file to its executable line set."""
+    files = {}
+    for dirpath, _dirnames, filenames in os.walk(PACKAGE):
+        if "__pycache__" in dirpath:
+            continue
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                path = os.path.join(dirpath, name)
+                files[path] = executable_lines(path)
+    return files
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="coverage_lines.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        default=[],
+        help="extra arguments forwarded to pytest (default: -q tests)",
+    )
+    args = parser.parse_args(argv)
+
+    import pytest
+
+    hit: dict = {}
+
+    def tracer(frame, event, arg):
+        filename = frame.f_code.co_filename
+        if not filename.startswith(PACKAGE):
+            return None
+        lineset = hit.get(filename)
+        if lineset is None:
+            lineset = hit[filename] = set()
+
+        def local(frame, event, _arg):
+            if event == "line":
+                lineset.add(frame.f_lineno)
+            return local
+
+        if event == "call":
+            local(frame, "line", None)
+            return local
+        return None
+
+    pytest_args = args.pytest_args or ["-q", "tests"]
+    threading.settrace(tracer)
+    sys.settrace(tracer)
+    try:
+        status = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+
+    files = collect_files()
+    total_statements = 0
+    total_covered = 0
+    per_file = {}
+    for path, statements in sorted(files.items()):
+        covered = hit.get(path, set()) & statements
+        total_statements += len(statements)
+        total_covered += len(covered)
+        rel = os.path.relpath(path, ROOT)
+        per_file[rel] = {
+            "statements": len(statements),
+            "covered": len(covered),
+            "percent": round(100.0 * len(covered) / len(statements), 2)
+            if statements
+            else 100.0,
+        }
+    percent = (
+        100.0 * total_covered / total_statements if total_statements else 100.0
+    )
+    report = {
+        "tool": "measure_coverage.py",
+        "percent": round(percent, 2),
+        "covered": total_covered,
+        "statements": total_statements,
+        "files": per_file,
+    }
+    with io.open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"COVERAGE {report['percent']:.2f}% "
+        f"({total_covered}/{total_statements} lines) -> {args.output}"
+    )
+    return int(status)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,14 @@ def _cmd_run(args) -> int:
         os.environ[ENV_WORKERS] = str(args.workers)
     if args.audit:
         os.environ[ENV_AUDIT] = "1"
+    if args.telemetry:
+        from .obs.session import ENV_TELEMETRY
+
+        os.environ[ENV_TELEMETRY] = args.telemetry
+    if args.profile:
+        from .obs.session import ENV_PROFILE
+
+        os.environ[ENV_PROFILE] = "1"
     if args.all:
         experiments = all_experiments()
     elif args.light:
@@ -79,6 +87,7 @@ def _cmd_report(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from .config.presets import scaled
+    from .obs.session import profile_from_env
     from .server.topology import moonshot_sut
     from .sim.export import save_csv, save_json, sweep_summaries
     from .sim.runner import run_sweep
@@ -104,6 +113,11 @@ def _cmd_sweep(args) -> int:
             f"fault schedule: {len(fault_schedule)} event(s), "
             f"fingerprint {fault_schedule.fingerprint()[:16]}"
         )
+    telemetry = args.telemetry
+    if telemetry is None:
+        from .obs.session import TelemetryConfig
+
+        telemetry = TelemetryConfig.from_env()
     results = run_sweep(
         topology,
         params,
@@ -114,6 +128,8 @@ def _cmd_sweep(args) -> int:
         audit=args.audit,
         fault_schedule=fault_schedule,
         checkpoint_dir=args.resume,
+        telemetry=telemetry,
+        profile=args.profile or profile_from_env(),
     )
     if args.csv:
         save_csv(results, args.csv)
@@ -160,6 +176,26 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
             "check physical invariants (finite ordered temperatures, "
             "power envelope, non-negative work, monotone energy) "
             "periodically during every simulation"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help=(
+            "record structured JSONL telemetry (scheduling decisions, "
+            "DVFS throttles, thermal trips, fault activations, sweep "
+            "harness actions) plus per-run provenance manifests into "
+            "DIR; results stay bit-identical (also: REPRO_TELEMETRY)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "account per-component wall-clock for every simulation "
+            "(<2%% overhead) and attach the profile table to results "
+            "and manifests (also: REPRO_PROFILE=1)"
         ),
     )
 

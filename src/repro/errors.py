@@ -34,3 +34,7 @@ class SchedulingError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
+
+
+class ObservabilityError(ReproError):
+    """A telemetry event, log or manifest is malformed or unusable."""

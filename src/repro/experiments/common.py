@@ -47,6 +47,11 @@ class ExperimentConfig:
         max_workers: Worker processes for sweep execution (1 = serial;
             results are bit-identical either way).
         audit: Run every simulation under an invariant auditor.
+        telemetry_dir: Record structured JSONL telemetry and
+            provenance manifests into this directory (``None``
+            disables; also settable via ``REPRO_TELEMETRY``).
+        profile: Attach per-component wall-clock profiles to results
+            (also settable via ``REPRO_PROFILE``).
     """
 
     n_rows: int = 3
@@ -61,8 +66,12 @@ class ExperimentConfig:
     )
     max_workers: int = 1
     audit: bool = False
+    telemetry_dir: "str | None" = None
+    profile: bool = False
 
     def __post_init__(self) -> None:
+        from ..obs.session import ENV_TELEMETRY, profile_from_env
+
         env_rows = os.environ.get(ENV_ROWS)
         if env_rows:
             self.n_rows = int(env_rows)
@@ -76,6 +85,11 @@ class ExperimentConfig:
         env_audit = os.environ.get(ENV_AUDIT)
         if env_audit is not None and env_audit not in ("", "0"):
             self.audit = True
+        env_telemetry = os.environ.get(ENV_TELEMETRY)
+        if self.telemetry_dir is None and env_telemetry:
+            self.telemetry_dir = env_telemetry
+        if profile_from_env():
+            self.profile = True
         if self.n_rows < 1:
             raise ConfigurationError("n_rows must be >= 1")
         if self.max_workers < 1:
@@ -121,6 +135,8 @@ class ExperimentConfig:
             max_workers=self.max_workers,
             audit=self.audit,
             use_cache=True,
+            telemetry=self.telemetry_dir,
+            profile=self.profile,
         )
 
 

@@ -174,6 +174,9 @@ def run(
             benchmark_set,
             load,
             auditor=auditor(),
+            telemetry=config.telemetry_dir,
+            profile=config.profile,
+            run_name=f"{scheme}-healthy",
         )
         faulted = run_once(
             topology,
@@ -183,6 +186,9 @@ def run(
             load,
             auditor=auditor(),
             fault_schedule=schedule,
+            telemetry=config.telemetry_dir,
+            profile=config.profile,
+            run_name=f"{scheme}-faulted",
         )
         reports[scheme] = fault_impact_report(
             scheme, healthy, faulted, downwind_mask=mask

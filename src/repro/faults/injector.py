@@ -244,8 +244,17 @@ class FaultInjector(StepComponent):
         due = self._transitions.get(ctx.step)
         if not due:
             return
+        telemetry = ctx.telemetry
         for activating, event in due:
             self._apply(ctx, event, activating)
+            if telemetry is not None:
+                telemetry.emit(
+                    "fault_activation",
+                    step=ctx.step,
+                    t=ctx.time_s,
+                    fault=type(event).__name__,
+                    activating=activating,
+                )
 
     def on_run_end(self, ctx: EngineContext) -> None:
         ctx.result.fault_summary = self.fault_state.summary(
@@ -345,5 +354,13 @@ class FaultInjector(StepComponent):
                 # central queue (behind same-step arrivals).
                 ctx.queue.append(job)
                 state.n_evictions += 1
+                if ctx.telemetry is not None:
+                    ctx.telemetry.emit(
+                        "eviction",
+                        step=ctx.step,
+                        t=ctx.time_s,
+                        socket=int(socket),
+                        job_id=int(job.job_id),
+                    )
         else:
             state.alive[socket] = True

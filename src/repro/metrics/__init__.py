@@ -17,6 +17,7 @@ from .robustness import (
     most_robust,
     robustness_report,
 )
+from .obs_report import ObsReport, RunDigest, obs_report, render as render_obs_report
 
 __all__ = [
     "relative_performance",
@@ -36,4 +37,8 @@ __all__ = [
     "FaultImpactReport",
     "fault_impact_report",
     "most_resilient",
+    "ObsReport",
+    "RunDigest",
+    "obs_report",
+    "render_obs_report",
 ]

@@ -1,0 +1,251 @@
+"""Summarise a telemetry directory: ``python -m repro.metrics.obs_report``.
+
+Turns the raw observability artifacts of a run or sweep — JSONL event
+logs, provenance manifests, embedded profiles — into a compact digest:
+per-log event counts and simulation spans, scheduling activity
+(placements, migrations, evictions), thermal/DVFS incidents, sweep
+harness health (cache hits, retries, timeouts), and the aggregated
+per-component profile table across every profiled run.
+
+Usage::
+
+    python -m repro.metrics.obs_report runs/telemetry
+    python -m repro.metrics.obs_report runs/telemetry --json
+
+The module is read-only over the artifact directory and tolerant of a
+truncated final line per log (a killed run is exactly when you want a
+report), but raises :class:`~repro.errors.ObservabilityError` on real
+interior corruption.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import ObservabilityError
+from ..obs.manifest import MANIFEST_SUFFIX, RunManifest
+from ..obs.profiler import RunProfile
+from ..obs.writer import iter_events
+
+
+@dataclass
+class RunDigest:
+    """Summary of one JSONL event log.
+
+    Attributes:
+        name: Log file name (without directory).
+        n_events: Total events parsed.
+        by_type: Event counts per schema type.
+        span_s: Simulation-time span covered by timestamped events
+            (0.0 when the log has no per-step events).
+        truncated: Whether the log ended in a partial line (the
+            writing process was killed mid-flush).
+    """
+
+    name: str
+    n_events: int
+    by_type: Dict[str, int]
+    span_s: float
+    truncated: bool
+
+
+@dataclass
+class ObsReport:
+    """The aggregated digest of one telemetry directory.
+
+    Attributes:
+        directory: The directory summarised.
+        runs: One :class:`RunDigest` per event log, sorted by name.
+        totals: Event counts per type, summed over every log.
+        manifests: Manifest count found beside the logs.
+        schedulers: Distinct scheduler names seen in manifests and
+            ``run_start`` events.
+        profile: Per-component accounting summed across every profiled
+            run's manifest, or ``None`` when nothing was profiled.
+    """
+
+    directory: str
+    runs: List[RunDigest] = field(default_factory=list)
+    totals: Dict[str, int] = field(default_factory=dict)
+    manifests: int = 0
+    schedulers: List[str] = field(default_factory=list)
+    profile: Optional[RunProfile] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "directory": self.directory,
+            "runs": [
+                {
+                    "name": run.name,
+                    "n_events": run.n_events,
+                    "by_type": dict(run.by_type),
+                    "span_s": run.span_s,
+                    "truncated": run.truncated,
+                }
+                for run in self.runs
+            ],
+            "totals": dict(self.totals),
+            "manifests": self.manifests,
+            "schedulers": list(self.schedulers),
+            "profile": self.profile.to_dict() if self.profile else None,
+        }
+
+
+def _digest_log(path: Path) -> RunDigest:
+    by_type: Counter = Counter()
+    t_min = float("inf")
+    t_max = float("-inf")
+    truncated = False
+    try:
+        events = list(iter_events(path, strict=True, validate=True))
+    except ObservabilityError:
+        # Retry tolerating a truncated tail; interior corruption (or a
+        # schema violation) re-raises from here and fails the report.
+        events = list(iter_events(path, strict=False, validate=True))
+        truncated = True
+    for event in events:
+        by_type[event["type"]] += 1
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            t_min = min(t_min, float(t))
+            t_max = max(t_max, float(t))
+    span = (t_max - t_min) if t_max >= t_min else 0.0
+    return RunDigest(
+        name=path.name,
+        n_events=len(events),
+        by_type=dict(by_type),
+        span_s=span,
+        truncated=truncated,
+    )
+
+
+def _merge_profiles(profiles: List[RunProfile]) -> Optional[RunProfile]:
+    """Sum per-component accounting across runs (matched by name)."""
+    if not profiles:
+        return None
+    totals: "Dict[str, List[float]]" = {}
+    order: List[str] = []
+    elapsed = 0.0
+    steps = 0
+    for profile in profiles:
+        elapsed += profile.engine_elapsed_s
+        steps += profile.n_steps
+        for entry in profile.components:
+            if entry.name not in totals:
+                totals[entry.name] = [0, 0.0]
+                order.append(entry.name)
+            totals[entry.name][0] += entry.calls
+            totals[entry.name][1] += entry.total_s
+    from ..obs.profiler import ComponentProfile
+
+    return RunProfile(
+        engine_elapsed_s=elapsed,
+        n_steps=steps,
+        components=tuple(
+            ComponentProfile(
+                name=name,
+                calls=int(totals[name][0]),
+                total_s=float(totals[name][1]),
+            )
+            for name in order
+        ),
+    )
+
+
+def obs_report(directory) -> ObsReport:
+    """Build the digest of one telemetry directory.
+
+    Raises:
+        ObservabilityError: if the directory does not exist, holds no
+            telemetry artifacts, or any log is corrupt beyond a
+            truncated final line.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ObservabilityError(
+            f"telemetry directory {directory} does not exist"
+        )
+    logs = sorted(directory.rglob("*.jsonl"))
+    manifest_paths = sorted(directory.rglob(f"*{MANIFEST_SUFFIX}"))
+    if not logs and not manifest_paths:
+        raise ObservabilityError(
+            f"no telemetry artifacts under {directory}"
+        )
+    report = ObsReport(directory=str(directory))
+    totals: Counter = Counter()
+    schedulers = set()
+    profiles: List[RunProfile] = []
+    for path in logs:
+        digest = _digest_log(path)
+        report.runs.append(digest)
+        totals.update(digest.by_type)
+    for path in manifest_paths:
+        manifest = RunManifest.read(path)
+        report.manifests += 1
+        schedulers.add(manifest.scheduler)
+        if manifest.profile is not None:
+            profiles.append(RunProfile.from_dict(manifest.profile))
+    report.totals = dict(totals)
+    report.schedulers = sorted(schedulers)
+    report.profile = _merge_profiles(profiles)
+    return report
+
+
+def render(report: ObsReport) -> str:
+    """A human-readable report."""
+    lines = [f"telemetry under {report.directory}"]
+    lines.append(
+        f"  {len(report.runs)} event log(s), "
+        f"{sum(run.n_events for run in report.runs)} event(s), "
+        f"{report.manifests} manifest(s)"
+    )
+    if report.schedulers:
+        lines.append(f"  schedulers: {', '.join(report.schedulers)}")
+    if report.totals:
+        lines.append("  events by type:")
+        for name in sorted(report.totals):
+            lines.append(f"    {name:18s} {report.totals[name]}")
+    truncated = [run.name for run in report.runs if run.truncated]
+    if truncated:
+        lines.append(
+            f"  truncated (killed mid-write): {', '.join(truncated)}"
+        )
+    if report.profile is not None:
+        lines.append("  aggregate profile:")
+        for row in report.profile.render().splitlines():
+            lines.append(f"    {row}")
+    return "\n".join(lines)
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.metrics.obs_report",
+        description="Summarise a telemetry artifact directory.",
+    )
+    parser.add_argument("directory", help="telemetry directory")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the digest as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = obs_report(args.directory)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render(report))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

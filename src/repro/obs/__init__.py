@@ -1,0 +1,76 @@
+"""Run-wide observability: telemetry events, profiling, manifests.
+
+Three orthogonal capabilities, all strictly observational (a run with
+any of them enabled is bit-identical to a run with none — pinned by
+the fingerprint oracle tests):
+
+- **Structured telemetry** (:mod:`~repro.obs.events`,
+  :mod:`~repro.obs.writer`, :mod:`~repro.obs.session`): schema-stable
+  JSONL event streams of scheduling decisions, DVFS throttles, thermal
+  trips, fault activations and sweep-harness actions, written by a
+  buffered non-blocking writer that leaves parseable logs even when
+  the process is SIGKILLed.
+- **Per-step profiling** (:mod:`~repro.obs.profiler`): per-component
+  wall-clock accounting of the step pipeline at <2% overhead.
+- **Run manifests** (:mod:`~repro.obs.manifest`): per-run provenance
+  records (parameters, topology recipe, fault schedule, versions,
+  result fingerprint) from which any run can be replayed and verified.
+
+Enable from the CLI with ``--telemetry DIR`` / ``--profile``, or from
+the environment with ``REPRO_TELEMETRY`` / ``REPRO_PROFILE``.  Check
+artifacts with ``python -m repro.obs.check DIR``; summarise with
+``python -m repro.metrics.obs_report DIR``.
+"""
+
+from .events import EVENT_TYPES, SCHEMA_VERSION, make_event, validate_event
+from .manifest import (
+    MANIFEST_SUFFIX,
+    MANIFEST_VERSION,
+    RunManifest,
+    manifest_for_point,
+    rerun_from_manifest,
+    verify_manifest,
+)
+from .profiler import ComponentProfile, RunProfile, StepProfiler
+from .session import (
+    ENV_PROFILE,
+    ENV_TELEMETRY,
+    TelemetryConfig,
+    TelemetryRecorder,
+    TelemetrySession,
+    profile_from_env,
+)
+from .writer import (
+    DEFAULT_BUFFER_LINES,
+    JsonlWriter,
+    encode_event,
+    iter_events,
+    read_events,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "make_event",
+    "validate_event",
+    "DEFAULT_BUFFER_LINES",
+    "JsonlWriter",
+    "encode_event",
+    "iter_events",
+    "read_events",
+    "ComponentProfile",
+    "RunProfile",
+    "StepProfiler",
+    "ENV_TELEMETRY",
+    "ENV_PROFILE",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "TelemetryRecorder",
+    "profile_from_env",
+    "MANIFEST_VERSION",
+    "MANIFEST_SUFFIX",
+    "RunManifest",
+    "manifest_for_point",
+    "rerun_from_manifest",
+    "verify_manifest",
+]

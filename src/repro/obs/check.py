@@ -1,0 +1,109 @@
+"""Telemetry artifact checker: ``python -m repro.obs.check DIR``.
+
+Validates every artifact a telemetry directory can contain:
+
+- each ``*.jsonl`` log is parsed line-by-line and every event is
+  checked against the schema (:mod:`repro.obs.events`);
+- each ``*.manifest.json`` must load as a well-formed
+  :class:`~repro.obs.manifest.RunManifest`.
+
+By default the check is *strict about interiors and tails*: a log that
+ends in a truncated line fails (pass ``--allow-truncated`` when
+checking artifacts of a deliberately killed run).  Exit status is 0
+when everything validates, 1 on any violation, 2 on usage errors — CI
+gates on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..errors import ObservabilityError
+from .manifest import MANIFEST_SUFFIX, RunManifest
+from .writer import read_events
+
+
+def check_directory(
+    directory, allow_truncated: bool = False
+) -> List[str]:
+    """Validate all telemetry artifacts under ``directory``.
+
+    Returns:
+        Human-readable problem descriptions (empty means all good).
+
+    Raises:
+        ObservabilityError: if ``directory`` does not exist or holds no
+            telemetry artifacts at all (an empty check passing silently
+            would defeat a CI gate).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ObservabilityError(
+            f"telemetry directory {directory} does not exist"
+        )
+    logs = sorted(directory.rglob("*.jsonl"))
+    manifests = sorted(directory.rglob(f"*{MANIFEST_SUFFIX}"))
+    if not logs and not manifests:
+        raise ObservabilityError(
+            f"no telemetry artifacts under {directory} — nothing to "
+            "check (wrong directory?)"
+        )
+    problems: List[str] = []
+    for path in logs:
+        try:
+            events = read_events(
+                path, strict=not allow_truncated, validate=True
+            )
+        except ObservabilityError as exc:
+            problems.append(str(exc))
+            continue
+        if not events:
+            problems.append(f"telemetry log {path} holds no events")
+    for path in manifests:
+        try:
+            RunManifest.read(path)
+        except ObservabilityError as exc:
+            problems.append(str(exc))
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.check",
+        description=(
+            "Validate every telemetry log and manifest in a directory."
+        ),
+    )
+    parser.add_argument(
+        "directory", help="telemetry directory to validate"
+    )
+    parser.add_argument(
+        "--allow-truncated",
+        action="store_true",
+        help="tolerate a truncated final line per log (killed runs)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        problems = check_directory(
+            args.directory, allow_truncated=args.allow_truncated
+        )
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        print(
+            f"{len(problems)} invalid telemetry artifact(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"telemetry artifacts under {args.directory} are valid")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

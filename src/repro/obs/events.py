@@ -1,0 +1,186 @@
+"""The structured telemetry event schema.
+
+Every line of a telemetry JSONL stream is one *event*: a flat JSON
+object carrying the schema version (``"v"``), the event type
+(``"type"``) and the type's required payload fields.  The schema is
+deliberately small and stable — downstream tooling (the
+:mod:`repro.metrics.obs_report` summariser, the CI checker in
+:mod:`repro.obs.check`, external trace consumers) validates against
+:data:`EVENT_TYPES` and must keep working across engine refactors.
+
+Schema evolution contract:
+
+- adding a new event *type* or a new *optional* field is
+  backward-compatible and does not bump :data:`SCHEMA_VERSION`;
+- removing/renaming a type or required field, or changing a field's
+  meaning, bumps :data:`SCHEMA_VERSION`;
+- consumers must ignore unknown optional fields (validation here only
+  checks the required ones), so writers may attach extra context.
+
+Events carry *simulation* timestamps (``step``, ``t``) — never
+wall-clock readings — so a telemetry-enabled run stays bit-for-bit
+reproducible and two runs of the same configuration produce identical
+event streams.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Tuple
+
+from ..errors import ObservabilityError
+
+#: Version stamped into every event line (see module docstring for the
+#: compatibility contract).
+SCHEMA_VERSION = 1
+
+#: Required payload fields per event type: ``name -> allowed types``.
+#: ``float`` fields also accept ints (JSON does not distinguish 1.0
+#: from 1 after a round-trip through integral values).
+EVENT_TYPES: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    # -- engine-run lifecycle ------------------------------------------
+    "run_start": {
+        "run": (str,),
+        "scheduler": (str,),
+        "seed": (int,),
+        "n_sockets": (int,),
+        "n_steps": (int,),
+    },
+    "run_end": {
+        "run": (str,),
+        "n_completed": (int,),
+        "energy_j": (float, int),
+        "max_queue_length": (int,),
+    },
+    # -- per-step engine events ----------------------------------------
+    "placement": {
+        "step": (int,),
+        "t": (float, int),
+        "job_id": (int,),
+        "socket": (int,),
+    },
+    "migration": {
+        "step": (int,),
+        "t": (float, int),
+        "source": (int,),
+        "destination": (int,),
+    },
+    "dvfs_throttle": {
+        "step": (int,),
+        "t": (float, int),
+        "n_throttled": (int,),
+    },
+    "thermal_trip": {
+        "step": (int,),
+        "t": (float, int),
+        "socket": (int,),
+    },
+    "fault_activation": {
+        "step": (int,),
+        "t": (float, int),
+        "fault": (str,),
+        "activating": (bool,),
+    },
+    "eviction": {
+        "step": (int,),
+        "t": (float, int),
+        "socket": (int,),
+        "job_id": (int,),
+    },
+    # -- sweep-harness events ------------------------------------------
+    "sweep_start": {
+        "n_points": (int,),
+        "n_resolved": (int,),
+    },
+    "sweep_end": {
+        "n_points": (int,),
+    },
+    "point_done": {
+        "index": (int,),
+        "scheduler": (str,),
+        "benchmark_set": (str,),
+        "load": (float, int),
+    },
+    "cache_hit": {
+        "index": (int,),
+        "key": (str,),
+    },
+    "checkpoint_write": {
+        "index": (int,),
+        "key": (str,),
+    },
+    "pool_retry": {
+        "round": (int,),
+        "remaining": (int,),
+    },
+    "pool_timeout": {
+        "index": (int,),
+        "attempt": (int,),
+    },
+}
+
+
+def make_event(type_: str, **fields) -> dict:
+    """Build a validated event dict for one schema type.
+
+    Raises:
+        ObservabilityError: for an unknown type or a payload missing a
+            required field (extra fields are allowed — see the schema
+            evolution contract).
+    """
+    event = {"v": SCHEMA_VERSION, "type": type_}
+    event.update(fields)
+    validate_event(event)
+    return event
+
+
+def validate_event(event: Mapping) -> None:
+    """Check one event against the schema.
+
+    Raises:
+        ObservabilityError: describing the first violation found —
+            wrong container type, missing/mismatched version, unknown
+            event type, missing required field, field of the wrong JSON
+            type, or a non-finite float (NaN/Infinity are not portable
+            JSON and would poison downstream parsers).
+    """
+    if not isinstance(event, Mapping):
+        raise ObservabilityError(
+            f"event must be an object, got {type(event).__name__}"
+        )
+    version = event.get("v")
+    if version != SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"event schema version {version!r} is not the supported "
+            f"version {SCHEMA_VERSION}"
+        )
+    type_ = event.get("type")
+    spec = EVENT_TYPES.get(type_)
+    if spec is None:
+        known = ", ".join(sorted(EVENT_TYPES))
+        raise ObservabilityError(
+            f"unknown event type {type_!r} (known: {known})"
+        )
+    for name, allowed in spec.items():
+        if name not in event:
+            raise ObservabilityError(
+                f"{type_} event is missing required field {name!r}"
+            )
+        value = event[name]
+        # bool is an int subclass; only accept it where bool is listed.
+        if isinstance(value, bool) and bool not in allowed:
+            raise ObservabilityError(
+                f"{type_} field {name!r} must be "
+                f"{'/'.join(t.__name__ for t in allowed)}, got bool"
+            )
+        if not isinstance(value, allowed):
+            raise ObservabilityError(
+                f"{type_} field {name!r} must be "
+                f"{'/'.join(t.__name__ for t in allowed)}, "
+                f"got {type(value).__name__}"
+            )
+    for name, value in event.items():
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ObservabilityError(
+                f"{type_} field {name!r} is non-finite ({value!r})"
+            )

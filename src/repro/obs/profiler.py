@@ -1,0 +1,221 @@
+"""Per-component wall-clock profiling of the step pipeline.
+
+A :class:`StepProfiler` rides along with one engine run and accounts
+every pipeline phase's monotonic wall-clock time and call count.  The
+engine integrates it with *chained* timestamps — one clock reading
+between consecutive hooks instead of a start/stop pair around each —
+so the instrumented loop costs a single ``perf_counter`` call per
+component per step.  That keeps the measured overhead on the
+180-socket SUT under 2% (pinned by
+``benchmarks/bench_step_pipeline.py``).
+
+Profiling is an observer: it never touches simulation state, so a
+profiled run is bit-identical to an unprofiled one (pinned by the
+fingerprint oracle tests).  The result of a run carries the finished
+:class:`RunProfile` in ``result.profile``.
+
+Clock contract: ``clock`` must be monotonic (the default is
+:func:`time.perf_counter`).  Totals are therefore non-negative and
+their sum can never exceed the engine's elapsed time — both invariants
+are property-tested with a deterministic fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..errors import ObservabilityError
+
+
+@dataclass(frozen=True)
+class ComponentProfile:
+    """Accounting for one pipeline component over one run.
+
+    Attributes:
+        name: Component class name (e.g. ``"PowerManager"``).
+        calls: Hook invocations over the run (``n_steps`` step hooks
+            plus the run-start and run-end hooks).
+        total_s: Monotonic wall-clock seconds spent inside the
+            component's hooks.
+    """
+
+    name: str
+    calls: int
+    total_s: float
+
+    @property
+    def mean_us(self) -> float:
+        """Mean microseconds per hook invocation."""
+        if self.calls == 0:
+            return 0.0
+        return self.total_s / self.calls * 1e6
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """The finished profile table of one engine run.
+
+    Plain data: pickles with results, serialises into manifests.
+
+    Attributes:
+        engine_elapsed_s: Wall-clock seconds of the whole engine run
+            (component hooks plus the engine's own loop overhead).
+        n_steps: Engine steps driven.
+        components: Per-component accounting, in pipeline order.
+    """
+
+    engine_elapsed_s: float
+    n_steps: int
+    components: Tuple[ComponentProfile, ...]
+
+    @property
+    def total_component_s(self) -> float:
+        """Seconds attributed to components (the rest is loop overhead)."""
+        return sum(entry.total_s for entry in self.components)
+
+    def share(self, entry: ComponentProfile) -> float:
+        """Fraction of the engine's elapsed time spent in ``entry``."""
+        if self.engine_elapsed_s <= 0:
+            return 0.0
+        return entry.total_s / self.engine_elapsed_s
+
+    def to_dict(self) -> dict:
+        """JSON-ready digest (used by manifests and reports)."""
+        return {
+            "engine_elapsed_s": self.engine_elapsed_s,
+            "n_steps": self.n_steps,
+            "components": [
+                {
+                    "name": entry.name,
+                    "calls": entry.calls,
+                    "total_s": entry.total_s,
+                }
+                for entry in self.components
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunProfile":
+        """Rebuild a profile from :meth:`to_dict` output."""
+        try:
+            return cls(
+                engine_elapsed_s=float(data["engine_elapsed_s"]),
+                n_steps=int(data["n_steps"]),
+                components=tuple(
+                    ComponentProfile(
+                        name=str(entry["name"]),
+                        calls=int(entry["calls"]),
+                        total_s=float(entry["total_s"]),
+                    )
+                    for entry in data["components"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(
+                f"malformed profile dict: {exc!r}"
+            ) from exc
+
+    def render(self) -> str:
+        """A human-readable profile table."""
+        rows = [("component", "calls", "total ms", "mean us", "share")]
+        for entry in self.components:
+            rows.append(
+                (
+                    entry.name,
+                    str(entry.calls),
+                    f"{entry.total_s * 1e3:.3f}",
+                    f"{entry.mean_us:.2f}",
+                    f"{self.share(entry) * 100:.1f}%",
+                )
+            )
+        overhead = self.engine_elapsed_s - self.total_component_s
+        rows.append(
+            (
+                "(engine loop)",
+                str(self.n_steps),
+                f"{max(overhead, 0.0) * 1e3:.3f}",
+                "-",
+                f"{max(overhead, 0.0) / self.engine_elapsed_s * 100:.1f}%"
+                if self.engine_elapsed_s > 0
+                else "-",
+            )
+        )
+        widths = [
+            max(len(row[col]) for row in rows) for col in range(len(rows[0]))
+        ]
+        lines = []
+        for i, row in enumerate(rows):
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            )
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+class StepProfiler:
+    """Mutable per-run accounting the engine drives directly.
+
+    One profiler instance can be reused across runs: the engine calls
+    :meth:`bind` at every run start, which zeroes all accounting — two
+    back-to-back runs therefore produce independent profiles.
+
+    Attributes:
+        clock: The monotonic clock in use (injectable for tests).
+        component_names: Pipeline component class names, in order.
+        totals_s: Per-component accumulated seconds (engine-written).
+        calls: Per-component hook invocation counts.
+        engine_elapsed_s: Elapsed seconds of the last finished run.
+        n_steps: Steps of the last finished run.
+    """
+
+    def __init__(
+        self, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self.clock = clock
+        self.component_names: List[str] = []
+        self.totals_s: List[float] = []
+        self.calls: List[int] = []
+        self.engine_elapsed_s = 0.0
+        self.n_steps = 0
+        self._bound = False
+
+    def bind(self, components: Sequence[object]) -> None:
+        """Register the pipeline and zero all accounting (run start)."""
+        self.component_names = [
+            type(component).__name__ for component in components
+        ]
+        self.totals_s = [0.0] * len(components)
+        self.calls = [0] * len(components)
+        self.engine_elapsed_s = 0.0
+        self.n_steps = 0
+        self._bound = True
+
+    def reset(self) -> None:
+        """Forget everything (alias for an unbound zeroing)."""
+        self.bind([])
+        self._bound = False
+
+    def profile(self) -> RunProfile:
+        """Snapshot the accounting as an immutable :class:`RunProfile`.
+
+        Raises:
+            ObservabilityError: if the profiler was never bound to a
+                pipeline (there is nothing to report).
+        """
+        if not self._bound:
+            raise ObservabilityError(
+                "profiler was never attached to an engine run"
+            )
+        return RunProfile(
+            engine_elapsed_s=self.engine_elapsed_s,
+            n_steps=self.n_steps,
+            components=tuple(
+                ComponentProfile(name=name, calls=calls, total_s=total)
+                for name, calls, total in zip(
+                    self.component_names, self.calls, self.totals_s
+                )
+            ),
+        )

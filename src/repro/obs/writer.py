@@ -1,0 +1,231 @@
+"""Buffered, non-blocking JSONL event log writer and its reader.
+
+The writer's contract, in order of importance:
+
+1. **Never perturb the simulation.**  ``emit`` only enqueues; all
+   serialisation and file I/O happen on one background thread, so the
+   engine hot path pays a queue put and nothing else.  Telemetry reads
+   state, it never touches it — a telemetry-enabled run is bit-identical
+   to a telemetry-off run (pinned by the fingerprint oracle tests).
+2. **Truncation safety.**  Lines are canonical one-line JSON documents
+   flushed to the OS every ``buffer_lines`` events, so a run killed with
+   SIGKILL leaves a log whose every complete line parses; at most the
+   final line is partial, and :func:`iter_events` tolerates exactly
+   that (a corrupt *interior* line is real corruption and always
+   raises).
+3. **Deterministic bytes.**  Events are serialised with sorted keys and
+   fixed separators, so the same event stream always produces the same
+   file bytes — logs can be diffed and fingerprinted.
+
+``NaN``/``Infinity`` are rejected (``allow_nan=False``): a non-finite
+value would serialise to non-portable JSON and break every downstream
+parser.  Serialisation failures on the background thread are latched
+and re-raised from :meth:`JsonlWriter.close`, so they cannot pass
+silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+from ..errors import ObservabilityError
+from .events import validate_event
+
+#: Sentinel shutting down the writer thread.
+_STOP = object()
+
+#: Default number of buffered lines between flushes to the OS.
+DEFAULT_BUFFER_LINES = 64
+
+
+def encode_event(event: dict) -> bytes:
+    """The canonical one-line serialisation of one event.
+
+    Raises:
+        ObservabilityError: if the event contains non-finite floats or
+            values JSON cannot represent.
+    """
+    try:
+        text = json.dumps(
+            event, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise ObservabilityError(
+            f"event is not JSON-serialisable: {exc}"
+        ) from exc
+    return text.encode("utf-8") + b"\n"
+
+
+class JsonlWriter:
+    """Append-only JSONL writer with a background drain thread.
+
+    Attributes:
+        path: The log file (parent directories are created).
+        lines_written: Lines fully handed to the OS so far (stable only
+            after :meth:`close`).
+    """
+
+    def __init__(
+        self,
+        path,
+        buffer_lines: int = DEFAULT_BUFFER_LINES,
+        append: bool = False,
+    ) -> None:
+        if buffer_lines < 1:
+            raise ObservabilityError("buffer_lines must be >= 1")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.lines_written = 0
+        self._buffer_lines = buffer_lines
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._error: Optional[BaseException] = None
+        self._closed = False
+        self._file = open(self.path, "ab" if append else "wb")
+        if append and self.path.stat().st_size > 0:
+            # Terminate a truncated tail from an interrupted previous
+            # writer so old and new lines cannot fuse into one corrupt
+            # record.
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    self._file.write(b"\n")
+        self._thread = threading.Thread(
+            target=self._drain,
+            name=f"repro-telemetry-{self.path.name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- producer side --------------------------------------------------
+
+    def emit(self, event: dict) -> None:
+        """Enqueue one event for the background writer (non-blocking).
+
+        The caller must not mutate ``event`` afterwards — serialisation
+        happens asynchronously.
+
+        Raises:
+            ObservabilityError: if the writer is already closed.
+        """
+        if self._closed:
+            raise ObservabilityError(
+                f"telemetry writer for {self.path} is closed"
+            )
+        self._queue.put(event)
+
+    def close(self) -> None:
+        """Drain the queue, flush, and close the file (idempotent).
+
+        Raises:
+            ObservabilityError: if any enqueued event failed to
+                serialise (the first such error, latched by the drain
+                thread).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._thread.join()
+        try:
+            self._file.flush()
+        finally:
+            self._file.close()
+        if self._error is not None:
+            raise ObservabilityError(
+                f"telemetry writer for {self.path} failed: {self._error}"
+            ) from self._error
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- background thread ----------------------------------------------
+
+    def _drain(self) -> None:
+        since_flush = 0
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            try:
+                line = encode_event(item)
+                self._file.write(line)
+            except BaseException as exc:  # latched, raised by close()
+                if self._error is None:
+                    self._error = exc
+                continue
+            self.lines_written += 1
+            since_flush += 1
+            if since_flush >= self._buffer_lines:
+                self._file.flush()
+                since_flush = 0
+
+
+def iter_events(
+    path, strict: bool = False, validate: bool = False
+) -> Iterator[dict]:
+    """Yield every event of one JSONL log, tolerating a truncated tail.
+
+    A log written by :class:`JsonlWriter` can end in a partial line if
+    the writing process was killed mid-write; that final fragment is
+    silently dropped unless ``strict`` is set.  A malformed line
+    anywhere *before* the end is corruption, not truncation, and always
+    raises.
+
+    Args:
+        path: The ``.jsonl`` file to read.
+        strict: Also raise on a truncated final line.
+        validate: Check every event against the schema
+            (:func:`repro.obs.events.validate_event`).
+
+    Raises:
+        ObservabilityError: on interior corruption, strict-mode
+            truncation, or (with ``validate``) a schema violation.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot read telemetry log {path}: {exc}"
+        ) from exc
+    lines = data.split(b"\n")
+    # A well-formed log ends with a newline, leaving one empty tail
+    # element; anything else in the tail slot is a truncated fragment.
+    tail = lines.pop()
+    if tail and strict:
+        raise ObservabilityError(
+            f"telemetry log {path} ends in a truncated line "
+            f"({len(tail)} bytes)"
+        )
+    for number, raw in enumerate(lines, start=1):
+        if not raw:
+            continue
+        try:
+            event = json.loads(raw)
+        except ValueError as exc:
+            raise ObservabilityError(
+                f"telemetry log {path} line {number} is corrupt: {exc}"
+            ) from exc
+        if validate:
+            try:
+                validate_event(event)
+            except ObservabilityError as exc:
+                raise ObservabilityError(
+                    f"telemetry log {path} line {number}: {exc}"
+                ) from exc
+        yield event
+
+
+def read_events(
+    path, strict: bool = False, validate: bool = False
+) -> List[dict]:
+    """Materialised :func:`iter_events`."""
+    return list(iter_events(path, strict=strict, validate=validate))

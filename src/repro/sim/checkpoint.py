@@ -24,7 +24,14 @@ Durability properties:
 
 Checkpoints store full :class:`~repro.sim.results.SimulationResult`
 objects and are only meant to be read back by the same code version
-that wrote them; delete the directory after upgrading.
+that wrote them.  Each point may carry a ``<key>.manifest.json``
+provenance sidecar (a :class:`~repro.obs.manifest.RunManifest`): the
+full recipe — parameters, topology, fault schedule, package version,
+result fingerprint — from which the point can be re-run and verified
+independently of the pickle.  The manifest doubles as the version
+guard: a checkpoint whose sidecar was written by a different package
+version is dropped and recomputed instead of silently deserialising
+stale state.
 """
 
 from __future__ import annotations
@@ -65,44 +72,94 @@ class SweepCheckpoint:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}{CHECKPOINT_SUFFIX}"
 
-    def load(self, key: str) -> Optional[SimulationResult]:
-        """The checkpointed result for ``key``, or ``None``.
+    def manifest_path(self, key: str) -> Path:
+        """Where the point's provenance sidecar lives (if written)."""
+        from ..obs.manifest import MANIFEST_SUFFIX
 
-        A file that exists but cannot be unpickled is deleted and
-        reported as a miss, so a half-written or stale checkpoint can
-        never poison a sweep.
+        return self.directory / f"{key}{MANIFEST_SUFFIX}"
+
+    def load_manifest(self, key: str):
+        """The point's :class:`~repro.obs.manifest.RunManifest`, if any.
+
+        Returns ``None`` when no sidecar exists.  Raises
+        :class:`~repro.errors.ObservabilityError` for a sidecar that
+        exists but is malformed.
         """
-        path = self._path(key)
+        from ..obs.manifest import RunManifest
+
+        path = self.manifest_path(key)
         if not path.exists():
             return None
-        try:
-            with open(path, "rb") as handle:
-                result = pickle.load(handle)
-        except Exception:
-            self.dropped += 1
+        return RunManifest.read(path)
+
+    def _drop(self, key: str) -> None:
+        """Delete a poisoned point (checkpoint and sidecar) quietly."""
+        self.dropped += 1
+        for path in (self._path(key), self.manifest_path(key)):
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - unlink race
                 pass
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """The checkpointed result for ``key``, or ``None``.
+
+        A file that exists but cannot be unpickled — or whose manifest
+        sidecar is malformed or was written by a different package
+        version — is deleted and reported as a miss, so a half-written
+        or stale checkpoint can never poison a sweep.
+        """
+        path = self._path(key)
+        try:
+            if not path.exists():
+                return None
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            self._drop(key)
             return None
         if not isinstance(result, SimulationResult):
-            self.dropped += 1
-            path.unlink()
+            self._drop(key)
+            return None
+        # Version guard: a sidecar from another package version marks
+        # the pickle as written by incompatible code.
+        from ..errors import ObservabilityError
+
+        try:
+            manifest = self.load_manifest(key)
+        except ObservabilityError:
+            self._drop(key)
+            return None
+        if manifest is not None and not manifest.version_compatible:
+            self._drop(key)
             return None
         self.loads += 1
         return result
 
-    def save(self, key: str, result: SimulationResult) -> None:
+    def save(self, key: str, result: SimulationResult, manifest=None) -> None:
         """Persist one finished point atomically.
 
         The pickle is written to a temporary file in the same directory
         and renamed over the final path, so readers only ever see
-        complete checkpoints.
+        complete checkpoints.  An optional
+        :class:`~repro.obs.manifest.RunManifest` is written (also
+        atomically) as the point's ``.manifest.json`` sidecar.
+
+        Raises:
+            SimulationError: if the checkpoint directory or files
+                cannot be written.
         """
-        self.directory.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=".tmp-", suffix=CHECKPOINT_SUFFIX, dir=self.directory
-        )
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-",
+                suffix=CHECKPOINT_SUFFIX,
+                dir=self.directory,
+            )
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot write checkpoints under {self.directory}: {exc}"
+            ) from exc
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(result, handle, pickle.HIGHEST_PROTOCOL)
@@ -113,6 +170,8 @@ class SweepCheckpoint:
             except OSError:
                 pass
             raise
+        if manifest is not None:
+            manifest.save(self.manifest_path(key))
         self.saves += 1
 
     def __len__(self) -> int:

@@ -221,12 +221,19 @@ def _run_point(
     audit: bool,
     audit_interval: int,
     fault_schedule=None,
+    telemetry=None,
+    profile: bool = False,
+    point_key: Optional[str] = None,
 ) -> SimulationResult:
     """Execute one sweep point; runs in workers and in the serial path.
 
     The scheduler is constructed *inside* the executing process from its
     registered name, so stateful policies always start fresh and no
-    policy object ever crosses a process boundary.
+    policy object ever crosses a process boundary.  The telemetry
+    config is a frozen value object, so it crosses the fork boundary by
+    construction; each point writes its own ``point-<key>`` log and
+    manifest, named by the configuration key so artifacts from
+    different points can never collide.
     """
     from ..core import get_scheduler  # local import: avoids cycle
     from .runner import run_once
@@ -237,6 +244,9 @@ def _run_point(
         from .invariants import InvariantAuditor
 
         auditor = InvariantAuditor(interval_steps=audit_interval)
+    run_name = "run"
+    if point_key is not None:
+        run_name = f"point-{point_key[:12]}"
     return run_once(
         topology,
         params,
@@ -245,6 +255,9 @@ def _run_point(
         load,
         auditor=auditor,
         fault_schedule=fault_schedule,
+        telemetry=telemetry,
+        profile=profile,
+        run_name=run_name,
     )
 
 
@@ -269,6 +282,8 @@ def execute_sweep(
     max_retries: int = 2,
     retry_backoff_s: float = 0.25,
     checkpoint: Optional[SweepCheckpoint] = None,
+    telemetry=None,
+    profile: bool = False,
 ) -> List[SimulationResult]:
     """Run every sweep point, in parallel where possible.
 
@@ -301,7 +316,19 @@ def execute_sweep(
         checkpoint: Optional :class:`~repro.sim.checkpoint.
             SweepCheckpoint`; finished points load from it up front and
             every newly computed point persists to it *immediately*, so
-            a sweep killed mid-flight resumes bit-identically.
+            a sweep killed mid-flight resumes bit-identically.  Every
+            persisted point gets a ``.manifest.json`` provenance
+            sidecar recording the full recipe and result fingerprint.
+        telemetry: Optional :class:`~repro.obs.session.TelemetryConfig`
+            (or bare directory).  The harness appends its own events
+            (``sweep_start``, ``cache_hit``, ``point_done``,
+            ``checkpoint_write``, ``pool_retry``, ``pool_timeout``,
+            ``sweep_end``) to ``sweep.jsonl`` in that directory —
+            append mode, so an interrupted-and-resumed sweep keeps one
+            continuous harness log — and each executed point records
+            its own per-run event log and manifest there.
+        profile: Attach per-component wall-clock accounting to every
+            point's ``result.profile``.
 
     Returns:
         One :class:`~repro.sim.results.SimulationResult` per point, in
@@ -320,10 +347,20 @@ def execute_sweep(
     if timeout_s is not None and timeout_s <= 0:
         raise ConfigurationError("timeout_s must be positive")
 
+    if telemetry is not None:
+        from ..obs.session import TelemetryConfig
+
+        telemetry = TelemetryConfig.coerce(telemetry, profile=profile)
+        profile = telemetry.profile
+
     results: List[Optional[SimulationResult]] = [None] * len(points)
     pending: List[int] = []
     keys: List[Optional[str]] = [None] * len(points)
-    need_keys = cache is not None or checkpoint is not None
+    need_keys = (
+        cache is not None
+        or checkpoint is not None
+        or telemetry is not None
+    )
     for i, point in enumerate(points):
         if need_keys:
             keys[i] = config_key(
@@ -346,43 +383,104 @@ def execute_sweep(
                 continue
         pending.append(i)
 
+    session = None
+    if telemetry is not None:
+        from pathlib import Path
+
+        from ..obs.session import TelemetrySession
+
+        # One continuous harness log per directory: append mode keeps
+        # a killed-and-resumed sweep's rounds in a single stream.
+        session = TelemetrySession(
+            Path(telemetry.directory) / "sweep.jsonl",
+            buffer_lines=telemetry.buffer_lines,
+            append=True,
+        )
+        session.emit(
+            "sweep_start",
+            n_points=len(points),
+            n_resolved=len(points) - len(pending),
+        )
+        for i in range(len(points)):
+            if results[i] is not None:
+                session.emit("cache_hit", index=i, key=keys[i])
+
     def record(i: int, result: SimulationResult) -> None:
         results[i] = result
         if checkpoint is not None:
-            checkpoint.save(keys[i], result)
-        if cache is not None:
-            cache.put(keys[i], result)
+            from ..obs.manifest import manifest_for_point
 
-    if pending:
-        workers = min(int(max_workers), len(pending))
-        serial = list(pending)
-        if workers > 1 and _fork_available():
-            serial = _run_pool(
+            # Every persisted point carries its provenance sidecar, so
+            # any figure built from a checkpoint directory can be
+            # re-run and verified from the artifacts alone.
+            manifest = manifest_for_point(
                 topology,
                 params,
-                points,
-                pending,
-                workers,
-                audit,
-                audit_interval,
-                fault_schedule,
-                timeout_s,
-                max_retries,
-                retry_backoff_s,
-                record,
+                points[i][0],
+                points[i][1],
+                points[i][2],
+                fault_schedule=fault_schedule,
+                result=result,
+                profile=result.profile,
             )
-        for i in serial:
-            record(
-                i,
-                _run_point(
+            checkpoint.save(keys[i], result, manifest=manifest)
+            if session is not None:
+                session.emit("checkpoint_write", index=i, key=keys[i])
+        if cache is not None:
+            cache.put(keys[i], result)
+        if session is not None:
+            name, benchmark_set, load = points[i]
+            session.emit(
+                "point_done",
+                index=i,
+                scheduler=name,
+                benchmark_set=benchmark_set.value,
+                load=float(load),
+            )
+
+    try:
+        if pending:
+            workers = min(int(max_workers), len(pending))
+            serial = list(pending)
+            if workers > 1 and _fork_available():
+                serial = _run_pool(
                     topology,
                     params,
-                    points[i],
+                    points,
+                    pending,
+                    workers,
                     audit,
                     audit_interval,
                     fault_schedule,
-                ),
-            )
+                    timeout_s,
+                    max_retries,
+                    retry_backoff_s,
+                    record,
+                    telemetry=telemetry,
+                    profile=profile,
+                    keys=keys,
+                    session=session,
+                )
+            for i in serial:
+                record(
+                    i,
+                    _run_point(
+                        topology,
+                        params,
+                        points[i],
+                        audit,
+                        audit_interval,
+                        fault_schedule,
+                        telemetry=telemetry,
+                        profile=profile,
+                        point_key=keys[i],
+                    ),
+                )
+        if session is not None:
+            session.emit("sweep_end", n_points=len(points))
+    finally:
+        if session is not None:
+            session.close()
     return results  # type: ignore[return-value]
 
 
@@ -399,6 +497,10 @@ def _run_pool(
     max_retries: int,
     retry_backoff_s: float,
     record: Callable[[int, SimulationResult], None],
+    telemetry=None,
+    profile: bool = False,
+    keys: Optional[Sequence[Optional[str]]] = None,
+    session=None,
 ) -> List[int]:
     """Fan points out over a fork-based process pool, with recovery.
 
@@ -418,8 +520,15 @@ def _run_pool(
     for round_no in range(1 + max_retries):
         if not remaining:
             break
-        if round_no and retry_backoff_s > 0:
-            time.sleep(retry_backoff_s * 2 ** (round_no - 1))
+        if round_no:
+            if session is not None:
+                session.emit(
+                    "pool_retry",
+                    round=round_no,
+                    remaining=len(remaining),
+                )
+            if retry_backoff_s > 0:
+                time.sleep(retry_backoff_s * 2 ** (round_no - 1))
         try:
             pool = ProcessPoolExecutor(
                 max_workers=min(workers, len(remaining)),
@@ -438,6 +547,9 @@ def _run_pool(
                     audit,
                     audit_interval,
                     fault_schedule,
+                    telemetry,
+                    profile,
+                    keys[i] if keys is not None else None,
                 )
                 for i in remaining
             }
@@ -452,6 +564,12 @@ def _run_pool(
                     timed_out[i] = timed_out.get(i, 0) + 1
                     hung = True
                     still.append(i)
+                    if session is not None:
+                        session.emit(
+                            "pool_timeout",
+                            index=i,
+                            attempt=timed_out[i],
+                        )
                     # The pool is wedged on the hung worker.  Harvest
                     # whatever already finished, requeue the rest, and
                     # abandon the round.

@@ -160,6 +160,13 @@ class EngineContext:
     # bit-identical to the pre-fault engine.
     fault_state: Optional[object] = None
 
+    # Telemetry stream (a repro.obs.session.TelemetrySession while a
+    # run records telemetry, bound by the TelemetryRecorder component).
+    # Every emission site is gated on this being non-None and only
+    # *reads* state, which keeps telemetry-off runs bit-identical to
+    # telemetry-on runs.
+    telemetry: Optional[object] = None
+
     @classmethod
     def create(
         cls,
@@ -280,11 +287,20 @@ class Placer(StepComponent):
         faults = ctx.fault_state
         if faults is not None and faults.any_dead:
             idle = idle[faults.alive[idle]]
+        telemetry = ctx.telemetry
         while queue and idle.size:
             job = queue.popleft()
             socket_id = int(scheduler.select_socket(job, idle, view))
             state.assign(job, socket_id)
             idle = idle[idle != socket_id]
+            if telemetry is not None:
+                telemetry.emit(
+                    "placement",
+                    step=ctx.step,
+                    t=ctx.time_s,
+                    job_id=int(job.job_id),
+                    socket=socket_id,
+                )
 
 
 class Migrator(StepComponent):
@@ -311,9 +327,18 @@ class Migrator(StepComponent):
         if step == 0 or step % self._interval_steps != 0:
             return
         state = ctx.state
+        telemetry = ctx.telemetry
         for source, destination in self.policy.propose(ctx.view):
             state.migrate(source, destination, self.policy.cost_ms)
             self._migrations += 1
+            if telemetry is not None:
+                telemetry.emit(
+                    "migration",
+                    step=ctx.step,
+                    t=ctx.time_s,
+                    source=int(source),
+                    destination=int(destination),
+                )
 
     def on_run_end(self, ctx: EngineContext) -> None:
         ctx.result.n_migrations = self._migrations
@@ -339,6 +364,7 @@ class PowerManager(StepComponent):
         self._leak: Optional[np.ndarray] = None
         self._busy_power: Optional[np.ndarray] = None
         self._workspace: Optional[SelectionWorkspace] = None
+        self._last_throttled = 0
 
     def on_run_start(self, ctx: EngineContext) -> None:
         n = ctx.topology.n_sockets
@@ -347,6 +373,7 @@ class PowerManager(StepComponent):
         self._workspace = SelectionWorkspace.for_ladder(
             ctx.state.ladder, n
         )
+        self._last_throttled = 0
 
     def on_step(self, ctx: EngineContext) -> None:
         state = ctx.state
@@ -387,6 +414,34 @@ class PowerManager(StepComponent):
             faults.zero_dead_power(power)
         state.power_w = power
         ctx.power = power
+        telemetry = ctx.telemetry
+        if telemetry is not None:
+            if faults is not None:
+                # trip_step == step picks exactly this step's new trips.
+                for socket_id in np.nonzero(
+                    faults.trip_step == ctx.step
+                )[0]:
+                    telemetry.emit(
+                        "thermal_trip",
+                        step=ctx.step,
+                        t=ctx.time_s,
+                        socket=int(socket_id),
+                    )
+            # Edge-triggered: one event whenever the number of busy
+            # sockets held below the sustained frequency changes.
+            n_throttled = int(
+                np.count_nonzero(
+                    busy & (state.freq_mhz < ctx.sustained_mhz)
+                )
+            )
+            if n_throttled != self._last_throttled:
+                self._last_throttled = n_throttled
+                telemetry.emit(
+                    "dvfs_throttle",
+                    step=ctx.step,
+                    t=ctx.time_s,
+                    n_throttled=n_throttled,
+                )
 
 
 class WorkRetirer(StepComponent):
@@ -641,9 +696,20 @@ class Tracer(StepComponent):
         self._interval_steps = 1
         self._trace = None
 
+    def reset(self) -> None:
+        """Drop any trace left from a previous (possibly aborted) run.
+
+        ``on_run_start`` already builds a fresh trace per run; this
+        exists for the engine-reuse contract shared with the telemetry
+        recorder, so harnesses can scrub observers between runs without
+        knowing their types.
+        """
+        self._trace = None
+
     def on_run_start(self, ctx: EngineContext) -> None:
         from .tracing import SimulationTrace
 
+        self.reset()
         self._interval_steps = max(
             int(round(self.config.interval_s / ctx.dt)), 1
         )

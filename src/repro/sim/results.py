@@ -46,6 +46,10 @@ class SimulationResult:
         fault_summary: Digest of the run's fault activity (schedule
             fingerprint, trips, evictions), or ``None`` for fault-free
             runs.
+        profile: Per-component wall-clock accounting
+            (:class:`repro.obs.profiler.RunProfile`), or ``None`` when
+            the run was not profiled.  Excluded from result
+            fingerprints — wall-clock is not part of the trajectory.
     """
 
     scheduler_name: str
@@ -66,6 +70,7 @@ class SimulationResult:
     mean_airflow_scale: float = 1.0
     trace: Optional[object] = None
     fault_summary: Optional[dict] = None
+    profile: Optional[object] = None
 
     def __post_init__(self) -> None:
         n = self.topology.n_sockets

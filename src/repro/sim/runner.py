@@ -21,6 +21,9 @@ def run_once(
     load: float,
     auditor=None,
     fault_schedule=None,
+    telemetry=None,
+    profile: bool = False,
+    run_name: str = "run",
 ) -> SimulationResult:
     """Run one (scheduler, benchmark set, load) configuration.
 
@@ -39,6 +42,13 @@ def run_once(
             run.
         fault_schedule: Optional :class:`~repro.faults.schedule.
             FaultSchedule` replayed deterministically during the run.
+        telemetry: Optional :class:`~repro.obs.session.TelemetryConfig`
+            (or bare directory): record a structured JSONL event log
+            plus a ``.manifest.json`` provenance record for the run.
+            Strictly observational — results stay bit-identical.
+        profile: Attach per-component wall-clock accounting to
+            ``result.profile`` (implied by ``telemetry.profile``).
+        run_name: Base name for the run's telemetry artifacts.
     """
     arrivals = ArrivalProcess(
         benchmark_set=benchmark_set,
@@ -48,13 +58,37 @@ def run_once(
         duration_scale=params.duration_scale,
     )
     jobs = arrivals.generate(params.sim_time_s)
-    return Simulation(
+    simulation = Simulation(
         topology,
         params,
         scheduler,
         auditor=auditor,
         fault_schedule=fault_schedule,
-    ).run(jobs)
+        telemetry=telemetry,
+        profile=profile,
+        run_name=run_name,
+    )
+    result = simulation.run(jobs)
+    if simulation.telemetry is not None:
+        from pathlib import Path
+
+        from ..obs.manifest import manifest_for_point
+
+        manifest = manifest_for_point(
+            topology,
+            params,
+            getattr(scheduler, "name", "unknown"),
+            benchmark_set,
+            load,
+            fault_schedule=fault_schedule,
+            result=result,
+            profile=result.profile,
+        )
+        manifest.save(
+            Path(simulation.telemetry.directory)
+            / f"{run_name}.manifest.json"
+        )
+    return result
 
 
 def run_sweep(
@@ -73,6 +107,8 @@ def run_sweep(
     max_retries: int = 2,
     retry_backoff_s: float = 0.25,
     checkpoint_dir=None,
+    telemetry=None,
+    profile: bool = False,
 ) -> Dict[Tuple[str, BenchmarkSet, float], SimulationResult]:
     """Run the full cross product of schedulers, sets and loads.
 
@@ -108,9 +144,15 @@ def run_sweep(
         retry_backoff_s: Base of the exponential sleep between retry
             rounds.
         checkpoint_dir: Optional directory; every finished point is
-            persisted there immediately (atomic per-point pickles), and
-            a re-run with the same configuration resumes bit-identically
-            from whatever completed.
+            persisted there immediately (atomic per-point pickles with
+            ``.manifest.json`` provenance sidecars), and a re-run with
+            the same configuration resumes bit-identically from
+            whatever completed.
+        telemetry: Optional :class:`~repro.obs.session.TelemetryConfig`
+            (or bare directory): record a sweep-level ``sweep.jsonl``
+            harness log plus one per-point event log and manifest.
+        profile: Attach per-component wall-clock accounting to every
+            point's ``result.profile``.
 
     Returns:
         Mapping from ``(scheduler name, benchmark set, load)`` to the
@@ -143,5 +185,7 @@ def run_sweep(
         max_retries=max_retries,
         retry_backoff_s=retry_backoff_s,
         checkpoint=checkpoint,
+        telemetry=telemetry,
+        profile=profile,
     )
     return dict(zip(points, results))

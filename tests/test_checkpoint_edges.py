@@ -1,0 +1,153 @@
+"""Checkpoint durability edge cases: corruption, staleness, bad disks.
+
+``tests/test_checkpoint_resume.py`` covers the happy resume path; this
+module attacks the failure modes — every poisoned artifact must read as
+a clean miss (recompute), and unwritable storage must raise a
+structured error, never corrupt silently.
+"""
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import get_scheduler
+from repro.errors import SimulationError
+from repro.obs.manifest import manifest_for_point
+from repro.sim.checkpoint import CHECKPOINT_SUFFIX, SweepCheckpoint
+from repro.sim.runner import run_once
+from repro.workloads.benchmark import BenchmarkSet
+
+
+@pytest.fixture(scope="module")
+def small_sut():
+    # Shadows the function-scoped conftest fixture: one simulation
+    # result serves every test in this module.
+    from repro.server.topology import moonshot_sut
+
+    return moonshot_sut(n_rows=2)
+
+
+@pytest.fixture(scope="module")
+def result(small_sut):
+    return run_once(
+        small_sut,
+        smoke(seed=4),
+        get_scheduler("CF"),
+        BenchmarkSet.COMPUTATION,
+        0.5,
+    )
+
+
+def _poisoned_load(tmp_path, payload: bytes):
+    """Write raw bytes as a checkpoint and try to load it."""
+    checkpoint = SweepCheckpoint(tmp_path)
+    path = tmp_path / f"point{CHECKPOINT_SUFFIX}"
+    path.write_bytes(payload)
+    loaded = checkpoint.load("point")
+    return checkpoint, path, loaded
+
+
+def test_garbage_bytes_dropped(tmp_path):
+    checkpoint, path, loaded = _poisoned_load(
+        tmp_path, b"\x00not a pickle at all"
+    )
+    assert loaded is None
+    assert checkpoint.dropped == 1
+    assert not path.exists()  # the poison was removed, not left to rot
+
+
+def test_truncated_pickle_dropped(tmp_path, result):
+    valid = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+    checkpoint, path, loaded = _poisoned_load(
+        tmp_path, valid[: len(valid) // 2]
+    )
+    assert loaded is None
+    assert checkpoint.dropped == 1
+    assert not path.exists()
+
+
+def test_wrong_type_pickle_dropped(tmp_path):
+    checkpoint, path, loaded = _poisoned_load(tmp_path, pickle.dumps(42))
+    assert loaded is None
+    assert checkpoint.dropped == 1
+    assert not path.exists()
+
+
+def test_version_mismatch_sidecar_drops_checkpoint(
+    tmp_path, result, small_sut
+):
+    """A checkpoint whose manifest sidecar names another package
+    version was written by incompatible code: both files go."""
+    checkpoint = SweepCheckpoint(tmp_path)
+    manifest = manifest_for_point(
+        small_sut,
+        smoke(seed=4),
+        "CF",
+        BenchmarkSet.COMPUTATION,
+        0.5,
+        result=result,
+    )
+    checkpoint.save("point", result, manifest=manifest)
+    assert checkpoint.load("point") is not None
+
+    stale = dataclasses.replace(manifest, package_version="0.0.0-other")
+    stale.save(checkpoint.manifest_path("point"))
+    assert checkpoint.load("point") is None
+    assert checkpoint.dropped == 1
+    assert not checkpoint._path("point").exists()
+    assert not checkpoint.manifest_path("point").exists()
+
+
+def test_malformed_sidecar_drops_checkpoint(tmp_path, result):
+    checkpoint = SweepCheckpoint(tmp_path)
+    checkpoint.save("point", result)
+    checkpoint.manifest_path("point").write_text(
+        json.dumps({"not": "a manifest"}), encoding="utf-8"
+    )
+    assert checkpoint.load("point") is None
+    assert checkpoint.dropped == 1
+    assert not checkpoint._path("point").exists()
+
+
+def test_valid_sidecar_passes_version_guard(tmp_path, result, small_sut):
+    checkpoint = SweepCheckpoint(tmp_path)
+    manifest = manifest_for_point(
+        small_sut, smoke(seed=4), "CF", BenchmarkSet.COMPUTATION, 0.5
+    )
+    checkpoint.save("point", result, manifest=manifest)
+    assert checkpoint.load("point") is not None
+    assert checkpoint.loads == 1
+    assert checkpoint.dropped == 0
+
+
+def test_unwritable_directory_raises_structured_error(tmp_path, result):
+    """A path routed *through a file* cannot become a directory; the
+    save must surface a SimulationError, not a raw OSError.  (Running
+    as root defeats permission-bit fixtures, so the obstruction is
+    structural.)"""
+    obstruction = tmp_path / "occupied"
+    obstruction.write_text("a file, not a directory")
+    checkpoint = SweepCheckpoint(obstruction / "sub")
+    with pytest.raises(SimulationError, match="cannot write checkpoints"):
+        checkpoint.save("point", result)
+    assert checkpoint.saves == 0
+
+
+def test_checkpoint_path_must_not_be_a_file(tmp_path):
+    obstruction = tmp_path / "occupied"
+    obstruction.write_text("a file, not a directory")
+    with pytest.raises(SimulationError, match="not a directory"):
+        SweepCheckpoint(obstruction)
+
+
+def test_len_counts_only_finished_points(tmp_path, result):
+    checkpoint = SweepCheckpoint(tmp_path)
+    assert len(checkpoint) == 0
+    checkpoint.save("a", result)
+    checkpoint.save("b", result)
+    (tmp_path / f".tmp-stray{CHECKPOINT_SUFFIX}").write_bytes(b"partial")
+    (tmp_path / "unrelated.txt").write_text("x")
+    assert len(checkpoint) == 2

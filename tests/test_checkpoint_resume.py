@@ -277,6 +277,9 @@ class _FlakyRunPoint:
         audit,
         audit_interval,
         fault_schedule=None,
+        telemetry=None,
+        profile=False,
+        point_key=None,
     ):
         from repro.core import get_scheduler
         from repro.sim.runner import run_once
@@ -302,6 +305,8 @@ class _FlakyRunPoint:
             benchmark_set,
             load,
             fault_schedule=fault_schedule,
+            telemetry=telemetry,
+            profile=profile,
         )
 
 

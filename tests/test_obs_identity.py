@@ -1,0 +1,99 @@
+"""Bit-identity oracle: telemetry and profiling are pure observers.
+
+The observability layer touches the hottest paths of the engine (the
+step driver is swapped for an instrumented variant, emission sites are
+threaded through placement, DVFS, thermals and faults).  Its cardinal
+contract is that a run with telemetry *and* profiling fully enabled
+reproduces the exact float trajectory of a bare run.
+
+This suite pins that contract over the same 19-configuration oracle as
+``test_fault_free_identity`` — every registered scheduler, every
+benchmark set and the load extremes — comparing full content
+fingerprints.
+"""
+
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import all_scheduler_names, get_scheduler
+from repro.obs.session import TelemetryConfig
+from repro.obs.writer import read_events
+from repro.sim.fingerprint import result_fingerprint
+from repro.sim.runner import run_once
+from repro.workloads.benchmark import BenchmarkSet
+
+
+def _oracle_configs():
+    """The 19 (scheduler, benchmark set, load) oracle configurations."""
+    configs = [
+        (name, BenchmarkSet.COMPUTATION, 0.5)
+        for name in all_scheduler_names()
+    ]
+    for benchmark_set in (
+        BenchmarkSet.COMPUTATION,
+        BenchmarkSet.GENERAL_PURPOSE,
+        BenchmarkSet.STORAGE,
+    ):
+        for load in (0.3, 0.9):
+            configs.append(("CF", benchmark_set, load))
+    return configs
+
+
+def test_oracle_covers_nineteen_configs():
+    assert len(_oracle_configs()) == 19
+
+
+@pytest.mark.parametrize(
+    "scheme,benchmark_set,load",
+    _oracle_configs(),
+    ids=lambda value: getattr(value, "value", value),
+)
+def test_telemetry_run_is_bit_identical(
+    tmp_path, small_sut, scheme, benchmark_set, load
+):
+    params = smoke(seed=4)
+    bare = run_once(
+        small_sut,
+        params,
+        get_scheduler(scheme),
+        benchmark_set,
+        load,
+    )
+    observed = run_once(
+        small_sut,
+        params,
+        get_scheduler(scheme),
+        benchmark_set,
+        load,
+        telemetry=TelemetryConfig(directory=str(tmp_path), profile=True),
+    )
+    # The machinery ran: a validated event log and a profile exist...
+    events = read_events(
+        tmp_path / "run-r0.jsonl", strict=True, validate=True
+    )
+    assert events[0]["type"] == "run_start"
+    assert events[-1]["type"] == "run_end"
+    assert bare.profile is None
+    assert observed.profile is not None
+    assert observed.profile.n_steps > 0
+    # ...but the trajectory is untouched, to the last bit.
+    assert result_fingerprint(bare) == result_fingerprint(observed)
+
+
+def test_two_telemetry_runs_write_identical_bytes(tmp_path, small_sut):
+    """Determinism of the stream itself: same configuration, same
+    bytes (modulo the run-name field, identical here by construction)."""
+    params = smoke(seed=4)
+    logs = []
+    for sub in ("a", "b"):
+        directory = tmp_path / sub
+        run_once(
+            small_sut,
+            params,
+            get_scheduler("CF"),
+            BenchmarkSet.COMPUTATION,
+            0.5,
+            telemetry=str(directory),
+        )
+        logs.append((directory / "run-r0.jsonl").read_bytes())
+    assert logs[0] == logs[1]
