@@ -1,0 +1,117 @@
+"""Shared timing harness for the benchmark suite.
+
+Two measurement idioms, extracted from ``bench_step_pipeline.py`` so
+every bench scores runs the same way:
+
+- :func:`best_of` — best-of-N wall-clock of a single variant.  On
+  shared machines interference spikes (neighbour load, GC) inflate
+  individual runs by far more than the effects under measurement; only
+  the noise *floor* is stable, so the minimum over a few rounds is the
+  score.
+- :func:`alternating_best_of` — adaptive best-of over several variants
+  run in alternation.  Alternating gives every variant the same shot at
+  quiet windows; sampling continues past a minimum round count until a
+  caller-supplied predicate says the measured ratio has cleared its
+  threshold (or a round cap is hit), since on virtualised runners
+  host-steal bursts can inflate either floor for seconds at a time.
+
+:func:`write_bench_json` standardises the BENCH output contract: one
+``BENCH {...}`` line on stdout plus a committed JSON artifact under
+``benchmarks/results/``.
+"""
+
+import json
+import os
+import time
+
+#: Default best-of repetitions; the least-interfered round is scored.
+ROUNDS = 5
+
+#: Default round bounds for the adaptive alternating measurement.
+ADAPTIVE_ROUNDS_MIN = 6
+ADAPTIVE_ROUNDS_MAX = 30
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def best_of(fn, rounds=ROUNDS):
+    """Best (minimum) wall-clock seconds of ``fn()`` over ``rounds``.
+
+    Returns:
+        ``(best_seconds, last_result)`` — the result is stable across
+        rounds for deterministic workloads, so the last one stands in
+        for all of them.
+    """
+    best_s = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best_s = min(best_s, elapsed)
+    return best_s, result
+
+
+def alternating_best_of(
+    variants,
+    stop=None,
+    rounds_min=ADAPTIVE_ROUNDS_MIN,
+    rounds_max=ADAPTIVE_ROUNDS_MAX,
+):
+    """Adaptive alternating best-of across named variants.
+
+    Args:
+        variants: Ordered mapping of ``name -> zero-arg callable``.
+            Every round runs each variant once, in order.
+        stop: Optional ``stop(best) -> bool`` predicate over the
+            current ``name -> best_seconds`` floors; once it returns
+            True (and at least ``rounds_min`` rounds have run),
+            sampling stops early.
+        rounds_min: Minimum full rounds before ``stop`` is consulted.
+        rounds_max: Hard cap on rounds.
+
+    Returns:
+        ``(best, results, rounds)``: the per-variant best seconds, the
+        per-variant last results, and the rounds actually run.
+    """
+    best = {name: float("inf") for name in variants}
+    results = {}
+    rounds = 0
+    for rounds in range(1, rounds_max + 1):
+        for name, fn in variants.items():
+            start = time.perf_counter()
+            results[name] = fn()
+            elapsed = time.perf_counter() - start
+            best[name] = min(best[name], elapsed)
+        if stop is not None and rounds >= rounds_min and stop(best):
+            break
+    return best, results, rounds
+
+
+def write_bench_json(filename, payload, merge=False):
+    """Emit the BENCH line and persist the JSON artifact.
+
+    Args:
+        filename: Artifact name under ``benchmarks/results/`` (with
+            extension, e.g. ``"step_pipeline.json"``).
+        payload: JSON-ready measurement dict.
+        merge: Merge ``payload``'s keys into an existing artifact
+            instead of replacing it (used when several tests share one
+            results file).
+
+    Returns:
+        The printed ``BENCH ...`` line (for artifact recording).
+    """
+    line = "BENCH " + json.dumps(payload, sort_keys=True)
+    print(line)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    merged = payload
+    if merge and os.path.exists(path):
+        with open(path) as handle:
+            merged = json.load(handle)
+        merged.update(payload)
+    with open(path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return line

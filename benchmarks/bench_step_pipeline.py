@@ -15,9 +15,7 @@ The measurement is written as BENCH JSON: one ``BENCH {...}`` line on
 stdout and ``benchmarks/results/step_pipeline.json`` on disk.
 """
 
-import json
 import os
-import time
 
 import numpy as np
 import pytest
@@ -30,6 +28,14 @@ from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.benchmark import BenchmarkSet
 
 from _legacy_engine import LegacySimulation
+from _timing import (
+    ADAPTIVE_ROUNDS_MAX,
+    ADAPTIVE_ROUNDS_MIN,
+    ROUNDS,
+    alternating_best_of,
+    best_of,
+    write_bench_json,
+)
 
 #: Required pipeline-vs-legacy speedup.  The refactor targets >= 1.3x
 #: on an idle machine; CI smoke overrides this with a lower sanity
@@ -43,17 +49,6 @@ MIN_SPEEDUP = float(os.environ.get("BENCH_MIN_SPEEDUP", "1.3"))
 MAX_PROFILE_OVERHEAD = float(
     os.environ.get("BENCH_MAX_PROFILE_OVERHEAD", "0.02")
 )
-
-#: Timing repetitions; the best (least-interfered) round is scored.
-ROUNDS = 5
-
-#: Round bounds for the overhead measurement.  At least MIN, at most
-#: MAX alternating plain/profiled rounds; sampling stops as soon as
-#: both variants have hit their noise floor (the measured overhead
-#: clears the threshold), since on virtualised runners host-steal
-#: bursts can inflate either floor for seconds at a time.
-PROFILE_ROUNDS_MIN = 6
-PROFILE_ROUNDS_MAX = 30
 
 SEED = 7
 LOAD = 0.6
@@ -76,14 +71,7 @@ def _workload():
 
 def _best_rate(factory, jobs, n_steps):
     """Best-of-N steps/sec for one engine, plus its (stable) result."""
-    best_s = float("inf")
-    result = None
-    for _ in range(ROUNDS):
-        sim = factory()
-        start = time.perf_counter()
-        result = sim.run(list(jobs))
-        elapsed = time.perf_counter() - start
-        best_s = min(best_s, elapsed)
+    best_s, result = best_of(lambda: factory().run(list(jobs)))
     return n_steps / best_s, result
 
 
@@ -128,16 +116,8 @@ def test_step_pipeline_speedup(record_artifact):
         "speedup": round(speedup, 3),
         "min_speedup": MIN_SPEEDUP,
     }
-    line = "BENCH " + json.dumps(payload, sort_keys=True)
-    print(line)
+    line = write_bench_json("step_pipeline.json", payload)
     record_artifact("step_pipeline", line + "\n")
-    results_dir = os.path.join(os.path.dirname(__file__), "results")
-    os.makedirs(results_dir, exist_ok=True)
-    with open(
-        os.path.join(results_dir, "step_pipeline.json"), "w"
-    ) as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
 
     assert speedup >= MIN_SPEEDUP, (
         f"step pipeline reached only {speedup:.2f}x over the legacy "
@@ -158,25 +138,23 @@ def test_profiling_overhead(record_artifact):
     # noise *floor* is stable.  Alternating the variants run by run
     # gives both the same shot at quiet windows, and the best-of ratio
     # then isolates the instrumentation cost.
-    best = {"plain": float("inf"), "profiled": float("inf")}
-    results = {}
+    def _run(**kwargs):
+        sim = Simulation(topology, params, get_scheduler("CF"), **kwargs)
+        return sim.run(list(jobs))
 
-    def _timed(label, **kwargs):
-        sim = Simulation(
-            topology, params, get_scheduler("CF"), **kwargs
-        )
-        start = time.perf_counter()
-        results[label] = sim.run(list(jobs))
-        elapsed = time.perf_counter() - start
-        best[label] = min(best[label], elapsed)
-
-    rounds = 0
-    for rounds in range(1, PROFILE_ROUNDS_MAX + 1):
-        _timed("plain")
-        _timed("profiled", profile=True)
-        overhead = best["profiled"] / best["plain"] - 1.0
-        if rounds >= PROFILE_ROUNDS_MIN and overhead < MAX_PROFILE_OVERHEAD:
-            break
+    best, results, rounds = alternating_best_of(
+        {
+            "plain": lambda: _run(),
+            "profiled": lambda: _run(profile=True),
+        },
+        stop=lambda floors: (
+            floors["profiled"] / floors["plain"] - 1.0
+            < MAX_PROFILE_OVERHEAD
+        ),
+        rounds_min=ADAPTIVE_ROUNDS_MIN,
+        rounds_max=ADAPTIVE_ROUNDS_MAX,
+    )
+    overhead = best["profiled"] / best["plain"] - 1.0
     plain_rate = n_steps / best["plain"]
     profiled_rate = n_steps / best["profiled"]
     plain_result = results["plain"]
@@ -203,19 +181,11 @@ def test_profiling_overhead(record_artifact):
         "overhead": round(overhead, 4),
         "max_overhead": MAX_PROFILE_OVERHEAD,
     }
-    line = "BENCH " + json.dumps(payload, sort_keys=True)
-    print(line)
+    line = write_bench_json("profiler_overhead.json", payload)
     print(profile.render())
     record_artifact(
         "profiler_overhead", line + "\n\n" + profile.render() + "\n"
     )
-    results_dir = os.path.join(os.path.dirname(__file__), "results")
-    os.makedirs(results_dir, exist_ok=True)
-    with open(
-        os.path.join(results_dir, "profiler_overhead.json"), "w"
-    ) as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
 
     assert overhead < MAX_PROFILE_OVERHEAD, (
         f"profiling cost {overhead * 100:.2f}% wall-clock "

@@ -13,6 +13,13 @@ cartridges with idle sockets at random and evaluates only the candidates
 within that row — keeping the scheduler cheap — using Equation 1 with
 one leakage-compensation pass and a table lookup into the offline
 coupling map for downwind entry temperatures.
+
+The scoring itself runs through the vectorised
+:class:`~repro.core.kernels.PlacementKernel` by default (batched
+candidate evaluation plus a per-step downwind frequency cache); the
+scalar reference path is kept behind ``use_kernel=False`` for the
+identity oracle and the kernel benchmarks, and both paths are pinned
+bit-identical by ``tests/test_kernel_identity.py``.
 """
 
 from __future__ import annotations
@@ -20,9 +27,11 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Scheduler, register_scheduler
+from .kernels import PlacementKernel
 from .prediction import (
     predict_downwind_slowdown,
     predict_job_frequency,
+    predict_job_powers,
     predicted_job_power,
 )
 from .predictive import SINK_TIEBREAK_WEIGHT
@@ -38,6 +47,7 @@ class CouplingPredictor(Scheduler):
         self,
         row_restricted: bool = True,
         coupling_aware: bool = True,
+        use_kernel: bool = True,
     ) -> None:
         """Create a CP scheduler.
 
@@ -48,15 +58,54 @@ class CouplingPredictor(Scheduler):
             coupling_aware: Include the downwind-slowdown term.  With it
                 disabled CP degenerates to row-restricted Predictive
                 (used by the ablation benches).
+            use_kernel: Score candidates through the vectorised
+                :class:`~repro.core.kernels.PlacementKernel` (default).
+                Disabled, CP runs the scalar per-candidate reference
+                loop — bit-identical, kept for oracle tests and
+                benchmark baselines.
         """
         super().__init__()
         self.row_restricted = row_restricted
         self.coupling_aware = coupling_aware
+        self.use_kernel = use_kernel
+        self._kernel = None
+
+    def reset(self, view, rng) -> None:
+        super().reset(view, rng)
+        # Engine reuse re-enters with fresh state under the same
+        # timestamps; drop any cached per-step frequencies.
+        if self._kernel is not None:
+            self._kernel.invalidate()
 
     def select_socket(self, job, idle_ids, view) -> int:
         self._require_candidates(idle_ids)
         candidates = self._candidate_pool(idle_ids, view)
         freq = predict_job_frequency(view, candidates, job)
+        if not self.use_kernel:
+            return self._select_socket_scalar(job, candidates, freq, view)
+
+        topology = view.topology
+        kernel = self._kernel
+        if kernel is None or kernel.topology is not topology:
+            kernel = self._kernel = PlacementKernel(topology)
+        powers = predict_job_powers(view, candidates, job, freq)
+        if self.coupling_aware:
+            slowdown = kernel.downwind_losses(view, candidates, powers)
+        else:
+            slowdown = 0.0
+        sink_ss = (
+            view.ambient_c[candidates]
+            + powers * topology.r_ext_array[candidates]
+        )
+        scores = (
+            freq
+            - slowdown
+            - SINK_TIEBREAK_WEIGHT * (sink_ss + view.sink_c[candidates])
+        )
+        return int(candidates[int(np.argmax(scores))])
+
+    def _select_socket_scalar(self, job, candidates, freq, view) -> int:
+        """Scalar per-candidate reference scoring (pre-kernel path)."""
         scores = np.empty(candidates.shape, dtype=float)
         topology = view.topology
         for i, (socket, f_mhz) in enumerate(zip(candidates, freq)):

@@ -21,7 +21,13 @@ from ..sim.power_manager import (
     select_frequencies_steady,
 )
 from ..workloads.benchmark import profile_for
-from ..workloads.power_model import LEAKAGE_TDP_FRACTION, leakage_power
+from ..workloads.power_model import (
+    LEAKAGE_FLOOR_FRACTION,
+    LEAKAGE_REFERENCE_C,
+    LEAKAGE_TDP_FRACTION,
+    LEAKAGE_TEMP_COEFF,
+    leakage_power,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.view import SchedulerView
@@ -77,6 +83,35 @@ def predicted_job_power(
     )
     leak = leakage_power(float(view.chip_c[socket_id]), tdp)
     return float(dyn) + float(leak)
+
+
+def predict_job_powers(
+    view: "SchedulerView",
+    socket_ids: np.ndarray,
+    job: "Job",
+    freq_mhz: np.ndarray,
+) -> np.ndarray:
+    """Vectorised :func:`predicted_job_power` over many candidates.
+
+    Bit-identical to calling the scalar helper once per socket: the
+    per-element float op order is preserved, and the leakage law is
+    inlined because :func:`~repro.workloads.power_model.leakage_power`
+    validates ``tdp_w`` as a scalar.
+    """
+    topology = view.topology
+    ids = np.asarray(socket_ids)
+    tdp = topology.tdp_array[ids]
+    profile = profile_for(job.app.benchmark_set)
+    dyn_max = job.app.power_at_max_w - LEAKAGE_TDP_FRACTION * tdp
+    dyn = dynamic_power(
+        freq_mhz, dyn_max, profile.dynamic_exponent, view.ladder.max_mhz
+    )
+    factor = 1.0 + LEAKAGE_TEMP_COEFF * (
+        np.asarray(view.chip_c[ids]) - LEAKAGE_REFERENCE_C
+    )
+    factor = np.maximum(factor, LEAKAGE_FLOOR_FRACTION)
+    leak = (LEAKAGE_TDP_FRACTION * tdp) * factor
+    return dyn + leak
 
 
 def predict_downwind_slowdown(

@@ -126,11 +126,13 @@ def _digest_log(path: Path) -> RunDigest:
 
 
 def _merge_profiles(profiles: List[RunProfile]) -> Optional[RunProfile]:
-    """Sum per-component accounting across runs (matched by name)."""
+    """Sum per-component (and per-bucket) accounting across runs."""
     if not profiles:
         return None
     totals: "Dict[str, List[float]]" = {}
     order: List[str] = []
+    bucket_totals: "Dict[str, List[float]]" = {}
+    bucket_order: List[str] = []
     elapsed = 0.0
     steps = 0
     for profile in profiles:
@@ -142,6 +144,12 @@ def _merge_profiles(profiles: List[RunProfile]) -> Optional[RunProfile]:
                 order.append(entry.name)
             totals[entry.name][0] += entry.calls
             totals[entry.name][1] += entry.total_s
+        for entry in profile.buckets:
+            if entry.name not in bucket_totals:
+                bucket_totals[entry.name] = [0, 0.0]
+                bucket_order.append(entry.name)
+            bucket_totals[entry.name][0] += entry.calls
+            bucket_totals[entry.name][1] += entry.total_s
     from ..obs.profiler import ComponentProfile
 
     return RunProfile(
@@ -154,6 +162,14 @@ def _merge_profiles(profiles: List[RunProfile]) -> Optional[RunProfile]:
                 total_s=float(totals[name][1]),
             )
             for name in order
+        ),
+        buckets=tuple(
+            ComponentProfile(
+                name=name,
+                calls=int(bucket_totals[name][0]),
+                total_s=float(bucket_totals[name][1]),
+            )
+            for name in bucket_order
         ),
     )
 

@@ -23,8 +23,8 @@ are property-tested with a deterministic fake clock.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..errors import ObservabilityError
 
@@ -64,11 +64,16 @@ class RunProfile:
             (component hooks plus the engine's own loop overhead).
         n_steps: Engine steps driven.
         components: Per-component accounting, in pipeline order.
+        buckets: Named sub-component accounting (e.g. ``place:CP`` for
+            the Placer's per-policy scoring time).  Bucket time is a
+            *subset* of its owning component's total, so it is reported
+            separately and never added to ``total_component_s``.
     """
 
     engine_elapsed_s: float
     n_steps: int
     components: Tuple[ComponentProfile, ...]
+    buckets: Tuple[ComponentProfile, ...] = field(default=())
 
     @property
     def total_component_s(self) -> float:
@@ -94,11 +99,23 @@ class RunProfile:
                 }
                 for entry in self.components
             ],
+            "buckets": [
+                {
+                    "name": entry.name,
+                    "calls": entry.calls,
+                    "total_s": entry.total_s,
+                }
+                for entry in self.buckets
+            ],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunProfile":
-        """Rebuild a profile from :meth:`to_dict` output."""
+        """Rebuild a profile from :meth:`to_dict` output.
+
+        Accepts pre-bucket digests (no ``"buckets"`` key) for manifest
+        back-compatibility.
+        """
         try:
             return cls(
                 engine_elapsed_s=float(data["engine_elapsed_s"]),
@@ -110,6 +127,14 @@ class RunProfile:
                         total_s=float(entry["total_s"]),
                     )
                     for entry in data["components"]
+                ),
+                buckets=tuple(
+                    ComponentProfile(
+                        name=str(entry["name"]),
+                        calls=int(entry["calls"]),
+                        total_s=float(entry["total_s"]),
+                    )
+                    for entry in data.get("buckets", ())
                 ),
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -142,6 +167,16 @@ class RunProfile:
                 else "-",
             )
         )
+        for entry in self.buckets:
+            rows.append(
+                (
+                    f"  {entry.name}",
+                    str(entry.calls),
+                    f"{entry.total_s * 1e3:.3f}",
+                    f"{entry.mean_us:.2f}",
+                    f"{self.share(entry) * 100:.1f}%",
+                )
+            )
         widths = [
             max(len(row[col]) for row in rows) for col in range(len(rows[0]))
         ]
@@ -178,6 +213,10 @@ class StepProfiler:
         self.component_names: List[str] = []
         self.totals_s: List[float] = []
         self.calls: List[int] = []
+        #: Named sub-component accumulators: name -> [calls, total_s].
+        #: Components opt in (e.g. the Placer's per-policy ``place:*``
+        #: scoring bucket) through ``EngineContext.profile_buckets``.
+        self.buckets: Dict[str, List[float]] = {}
         self.engine_elapsed_s = 0.0
         self.n_steps = 0
         self._bound = False
@@ -189,6 +228,7 @@ class StepProfiler:
         ]
         self.totals_s = [0.0] * len(components)
         self.calls = [0] * len(components)
+        self.buckets = {}
         self.engine_elapsed_s = 0.0
         self.n_steps = 0
         self._bound = True
@@ -217,5 +257,11 @@ class StepProfiler:
                 for name, calls, total in zip(
                     self.component_names, self.calls, self.totals_s
                 )
+            ),
+            buckets=tuple(
+                ComponentProfile(
+                    name=name, calls=int(acc[0]), total_s=acc[1]
+                )
+                for name, acc in self.buckets.items()
             ),
         )

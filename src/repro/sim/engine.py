@@ -141,6 +141,8 @@ class Engine:
         profiler.bind(self.components)
         clock = profiler.clock
         totals = profiler.totals_s
+        ctx.profile_buckets = profiler.buckets
+        ctx.profile_clock = clock
         run_started = clock()
         prev = run_started
         for i, component in enumerate(self.components):

@@ -159,11 +159,26 @@ class SweepCache:
     """
 
     def __init__(self, max_entries: Optional[int] = -1):
-        if max_entries == -1:
-            max_entries = _env_cache_max()
-        if max_entries is not None and max_entries <= 0:
+        if max_entries is not None and not isinstance(max_entries, int):
             raise ConfigurationError(
-                "cache max_entries must be positive or None (unbounded)"
+                f"cache max_entries must be an int or None, got "
+                f"{type(max_entries).__name__} ({max_entries!r})"
+            )
+        if max_entries == -1:
+            # The -1 sentinel defers to the environment (REPRO_CACHE_MAX,
+            # default DEFAULT_CACHE_MAX); it is the only negative value
+            # with a meaning.
+            max_entries = _env_cache_max()
+        elif max_entries is not None and max_entries < -1:
+            raise ConfigurationError(
+                f"cache max_entries must be positive, None (unbounded), "
+                f"or the -1 sentinel (use {ENV_CACHE_MAX}); got "
+                f"{max_entries}"
+            )
+        elif max_entries is not None and max_entries == 0:
+            raise ConfigurationError(
+                "cache max_entries of 0 would cache nothing; use a "
+                "positive bound, or None to run unbounded"
             )
         self.max_entries = max_entries
         self._store: "OrderedDict[str, SimulationResult]" = OrderedDict()

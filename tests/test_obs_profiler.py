@@ -159,3 +159,78 @@ def test_render_contains_components_and_loop_row():
     assert "ThermalUpdater" in text
     assert "(engine loop)" in text
     assert "50.0%" in text  # ThermalUpdater's share of 2.0 s
+
+
+# -- named sub-component buckets -------------------------------------------
+
+
+def _bucketed_profile():
+    return RunProfile(
+        engine_elapsed_s=2.0,
+        n_steps=100,
+        components=(
+            ComponentProfile(name="Placer", calls=102, total_s=0.5),
+        ),
+        buckets=(
+            ComponentProfile(name="place:CP", calls=40, total_s=0.25),
+        ),
+    )
+
+
+def test_bucket_round_trip_through_dict():
+    profile = _bucketed_profile()
+    data = profile.to_dict()
+    assert data["buckets"] == [
+        {"name": "place:CP", "calls": 40, "total_s": 0.25}
+    ]
+    assert RunProfile.from_dict(data) == profile
+
+
+def test_from_dict_accepts_pre_bucket_digests():
+    """Manifests written before buckets existed still load."""
+    data = _profile().to_dict()
+    del data["buckets"]
+    assert RunProfile.from_dict(data).buckets == ()
+
+
+def test_buckets_do_not_count_as_component_time():
+    profile = _bucketed_profile()
+    assert profile.total_component_s == pytest.approx(0.5)
+
+
+def test_render_indents_bucket_rows_after_loop_row():
+    text = _bucketed_profile().render()
+    assert "  place:CP" in text
+    assert text.index("place:CP") > text.index("(engine loop)")
+
+
+def test_profiled_run_exposes_placement_bucket(small_sut):
+    """An end-to-end profiled run reports the scheduler's scoring time
+    under ``place:<policy>``, bounded by the Placer's own total."""
+    from repro.config.presets import smoke
+    from repro.core import get_scheduler
+    from repro.sim.engine import Simulation
+    from repro.workloads.arrivals import ArrivalProcess
+    from repro.workloads.benchmark import BenchmarkSet
+
+    params = smoke(seed=6)
+    arrivals = ArrivalProcess(
+        benchmark_set=BenchmarkSet.COMPUTATION,
+        load=0.6,
+        n_sockets=small_sut.n_sockets,
+        seed=params.seed,
+        duration_scale=params.duration_scale,
+    )
+    jobs = arrivals.generate(params.sim_time_s)
+    result = Simulation(
+        small_sut, params, get_scheduler("CP"), profile=True
+    ).run(jobs)
+    profile = result.profile
+    (bucket,) = [
+        entry for entry in profile.buckets if entry.name == "place:CP"
+    ]
+    assert 0 < bucket.calls <= len(jobs)
+    (placer,) = [
+        entry for entry in profile.components if entry.name == "Placer"
+    ]
+    assert 0.0 <= bucket.total_s <= placer.total_s

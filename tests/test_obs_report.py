@@ -206,3 +206,44 @@ def test_check_missing_directory_exits_2(tmp_path, capsys):
         check_directory(tmp_path / "absent")
     assert check_main([str(tmp_path / "absent")]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_profile_buckets_merged_across_manifests(tmp_path):
+    def bucketed(total_s, policy):
+        return RunProfile(
+            engine_elapsed_s=total_s * 2,
+            n_steps=100,
+            components=(
+                ComponentProfile(
+                    name="Placer", calls=102, total_s=total_s
+                ),
+            ),
+            buckets=(
+                ComponentProfile(
+                    name=f"place:{policy}", calls=10, total_s=total_s / 2
+                ),
+            ),
+        )
+
+    _write_log(tmp_path / "a-r0.jsonl", scheduler="CF")
+    _write_log(tmp_path / "b-r0.jsonl", scheduler="CF")
+    _write_log(tmp_path / "c-r0.jsonl", scheduler="CP")
+    _write_manifest(
+        tmp_path / "a.manifest.json", profile=bucketed(1.0, "CF")
+    )
+    _write_manifest(
+        tmp_path / "b.manifest.json", profile=bucketed(2.0, "CF")
+    )
+    _write_manifest(
+        tmp_path / "c.manifest.json",
+        scheduler="CP",
+        profile=bucketed(4.0, "CP"),
+    )
+    profile = obs_report(tmp_path).profile
+    assert [b.name for b in profile.buckets] == ["place:CF", "place:CP"]
+    cf, cp = profile.buckets
+    assert cf.calls == 20
+    assert cf.total_s == pytest.approx(1.5)
+    assert cp.calls == 10
+    assert cp.total_s == pytest.approx(2.0)
+    assert "place:CF" in render(obs_report(tmp_path))

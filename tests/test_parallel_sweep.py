@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config.presets import smoke
-from repro.errors import SchedulingError
+from repro.errors import ConfigurationError, SchedulingError
 from repro.sim import parallel
 from repro.sim.parallel import (
     SweepCache,
@@ -135,6 +135,33 @@ class TestSweepCache:
         cache.get("missing")
         cache.clear()
         assert (len(cache), cache.hits, cache.misses) == (0, 0, 0)
+
+    def test_sentinel_reads_env_bound(self, monkeypatch):
+        monkeypatch.setenv(parallel.ENV_CACHE_MAX, "3")
+        assert SweepCache(max_entries=-1).max_entries == 3
+        monkeypatch.setenv(parallel.ENV_CACHE_MAX, "0")
+        assert SweepCache(max_entries=-1).max_entries is None
+
+    def test_explicit_bounds_bypass_env(self, monkeypatch):
+        monkeypatch.setenv(parallel.ENV_CACHE_MAX, "3")
+        assert SweepCache(max_entries=7).max_entries == 7
+        assert SweepCache(max_entries=None).max_entries is None
+
+    def test_negative_bound_rejected_naming_sentinel(self):
+        with pytest.raises(ConfigurationError, match="-1 sentinel"):
+            SweepCache(max_entries=-5)
+
+    def test_zero_bound_rejected(self):
+        with pytest.raises(
+            ConfigurationError, match="would cache nothing"
+        ):
+            SweepCache(max_entries=0)
+
+    def test_non_int_bound_rejected(self):
+        with pytest.raises(ConfigurationError, match="float"):
+            SweepCache(max_entries=2.5)
+        with pytest.raises(ConfigurationError, match="str"):
+            SweepCache(max_entries="8")
 
 
 class TestConfigKey:
