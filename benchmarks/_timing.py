@@ -18,6 +18,12 @@ every bench scores runs the same way:
 :func:`write_bench_json` standardises the BENCH output contract: one
 ``BENCH {...}`` line on stdout plus a committed JSON artifact under
 ``benchmarks/results/``.
+
+:func:`write_text_artifact` writes the human-readable ``.txt`` artifact
+*and* always emits a machine-readable ``.json`` sidecar next to it —
+``BENCH`` lines sidecar to their parsed payload (identical to what
+:func:`write_bench_json` writes), plain tables/figures to their lines —
+so every committed artifact can be consumed without scraping text.
 """
 
 import json
@@ -115,3 +121,38 @@ def write_bench_json(filename, payload, merge=False):
         json.dump(merged, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return line
+
+
+def parse_bench_lines(text):
+    """Extract every ``BENCH {...}`` payload embedded in ``text``."""
+    return [
+        json.loads(line[len("BENCH ") :])
+        for line in text.splitlines()
+        if line.startswith("BENCH ")
+    ]
+
+
+def write_text_artifact(name, text):
+    """Write ``<name>.txt`` plus its machine-readable JSON sidecar.
+
+    The sidecar at ``<name>.json`` is the parsed payload when ``text``
+    is a single ``BENCH`` line (byte-identical to what
+    :func:`write_bench_json` would emit for the same payload, so the
+    two writers can share a stem), a ``{"artifact", "bench"}`` wrapper
+    for several BENCH lines, and a ``{"artifact", "lines"}`` wrapper
+    for plain tables/figures.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text)
+    payloads = parse_bench_lines(text)
+    if len(payloads) == 1:
+        sidecar = payloads[0]
+    elif payloads:
+        sidecar = {"artifact": name, "bench": payloads}
+    else:
+        sidecar = {"artifact": name, "lines": text.splitlines()}
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(sidecar, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,145 @@
+"""Adaptive multi-rate stepping speedup vs the fixed-step engine.
+
+A sweep-dominated, low-arrival-rate workload on the full 180-socket
+Moonshot SUT: long decision-free stretches where the fixed engine burns
+one pipeline pass per millisecond while the multi-rate driver
+(:mod:`repro.sim.multirate`) collapses each quiescent window into a few
+closed-form thermal substeps.  ROADMAP item #2 asks for >=10x here, and
+``BENCH_MIN_MULTIRATE_SPEEDUP`` (default 10) enforces it; the CI smoke
+(``--smoke``) lowers the floor to 3x so host-steal bursts on shared
+runners cannot flake the guard.
+
+The speedup only counts alongside correctness, so the run also asserts
+the differential contract in-line: the adaptive decision fingerprint
+(:func:`repro.sim.fingerprint.decision_fingerprint`) equals the fixed
+run's bit for bit, the epsilon-set end metrics stay within the
+documented bounds, and the stepping summary accounts for every engine
+step exactly once.
+
+The committed artifact is ``benchmarks/results/multirate_stepping.json``.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.config.presets import scaled
+from repro.core import get_scheduler
+from repro.server.topology import moonshot_sut
+from repro.sim.engine import Simulation
+from repro.sim.fingerprint import decision_fingerprint
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.benchmark import BenchmarkSet
+
+from _timing import alternating_best_of, write_bench_json
+
+#: Required adaptive-vs-fixed end-to-end speedup.  The committed
+#: artifact shows ~15x on an idle machine; 10x is the acceptance floor
+#: (ROADMAP item #2), and the CI smoke overrides with 3.0.
+MIN_SPEEDUP = float(
+    os.environ.get("BENCH_MIN_MULTIRATE_SPEEDUP", "10.0")
+)
+
+#: Bound on the absolute drift of ``max_chip_c``, degC (matches the
+#: differential suite's EPSILON_C).
+EPSILON_C = 0.25
+
+#: Bound on the relative drift of integrated energies.
+EPSILON_ENERGY_REL = 1e-3
+
+SEED = 7
+#: Low enough that arrivals are sparse on 180 sockets: the horizon is
+#: dominated by quiescent windows, the regime the driver targets.
+LOAD = 0.0005
+
+
+def _workload():
+    topology = moonshot_sut(n_rows=15)
+    params = scaled(sim_time_s=16.0, warmup_s=4.0, seed=SEED)
+    arrivals = ArrivalProcess(
+        benchmark_set=BenchmarkSet.COMPUTATION,
+        load=LOAD,
+        n_sockets=topology.n_sockets,
+        seed=params.seed,
+        duration_scale=params.duration_scale,
+    )
+    jobs = arrivals.generate(params.sim_time_s)
+    n_steps = int(
+        round(params.sim_time_s / params.power_manager_interval_s)
+    )
+    return topology, params, jobs, n_steps
+
+
+def test_multirate_stepping_speedup(record_artifact):
+    topology, params, jobs, n_steps = _workload()
+
+    def _run(stepping):
+        sim = Simulation(
+            topology, params, get_scheduler("CF"), stepping=stepping
+        )
+        return sim.run(list(jobs))
+
+    best, results, rounds = alternating_best_of(
+        {
+            "fixed": lambda: _run("fixed"),
+            "adaptive": lambda: _run("adaptive"),
+        },
+        stop=lambda floors: (
+            floors["fixed"] / floors["adaptive"] >= MIN_SPEEDUP
+        ),
+    )
+    fixed, adaptive = results["fixed"], results["adaptive"]
+
+    # The driver's contract: bit-identical decisions, bounded epsilon
+    # on the integrated thermal metrics, every step accounted for.
+    assert decision_fingerprint(fixed) == decision_fingerprint(adaptive)
+    assert (
+        abs(adaptive.max_chip_c - fixed.max_chip_c).max() <= EPSILON_C
+    )
+    for field in ("energy_j", "cooling_energy_j"):
+        reference = getattr(fixed, field)
+        drift = abs(getattr(adaptive, field) - reference)
+        assert drift <= EPSILON_ENERGY_REL * max(abs(reference), 1.0)
+    summary = adaptive.stepping
+    assert summary is not None and summary["mode"] == "adaptive"
+    assert (
+        summary["executed_steps"] + summary["skipped_steps"]
+        == summary["n_steps"]
+    )
+
+    speedup = best["fixed"] / best["adaptive"]
+    payload = {
+        "benchmark": "multirate_stepping",
+        "n_sockets": topology.n_sockets,
+        "n_steps": n_steps,
+        "scheduler": "CF",
+        "load": LOAD,
+        "seed": SEED,
+        "rounds": rounds,
+        "fixed_steps_per_s": round(n_steps / best["fixed"], 1),
+        "adaptive_steps_per_s": round(n_steps / best["adaptive"], 1),
+        "executed_steps": summary["executed_steps"],
+        "skipped_steps": summary["skipped_steps"],
+        "n_windows": summary["n_windows"],
+        "speedup": round(speedup, 3),
+        "min_speedup": MIN_SPEEDUP,
+    }
+    line = write_bench_json("multirate_stepping.json", payload)
+    record_artifact("multirate_stepping", line + "\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"adaptive stepping reached only {speedup:.2f}x over the fixed "
+        f"engine (required {MIN_SPEEDUP}x): {line}"
+    )
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--smoke" in argv:
+        # CI perf-regression smoke: a 3x floor catches the driver
+        # degenerating to fixed stepping without flaking on loaded
+        # runners where the full 10x bar is wall-clock-sensitive.
+        argv.remove("--smoke")
+        os.environ.setdefault("BENCH_MIN_MULTIRATE_SPEEDUP", "3.0")
+    sys.exit(pytest.main([__file__, "-v", "-s"] + argv))

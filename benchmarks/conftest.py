@@ -19,15 +19,15 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 @pytest.fixture
 def record_artifact():
-    """Write a regenerated artifact's text to benchmarks/results/."""
+    """Write a regenerated artifact to benchmarks/results/.
 
-    def _record(name: str, text: str) -> None:
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        path = os.path.join(RESULTS_DIR, f"{name}.txt")
-        with open(path, "w") as handle:
-            handle.write(text)
+    Delegates to :func:`_timing.write_text_artifact`, so every artifact
+    gets both the human-readable ``.txt`` and a machine-readable
+    ``.json`` sidecar.
+    """
+    from _timing import write_text_artifact
 
-    return _record
+    return write_text_artifact
 
 
 def capture_main(main) -> str:

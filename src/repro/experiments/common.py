@@ -26,6 +26,10 @@ ENV_WORKERS = "REPRO_WORKERS"
 #: non-empty value other than "0").
 ENV_AUDIT = "REPRO_AUDIT"
 
+#: Environment variable selecting the engine stepping mode
+#: ("fixed" or "adaptive").
+ENV_STEPPING = "REPRO_STEPPING"
+
 
 @dataclass
 class ExperimentConfig:
@@ -52,6 +56,10 @@ class ExperimentConfig:
             disables; also settable via ``REPRO_TELEMETRY``).
         profile: Attach per-component wall-clock profiles to results
             (also settable via ``REPRO_PROFILE``).
+        stepping: Engine stepping mode for every simulation:
+            ``"fixed"`` (default) or ``"adaptive"`` multi-rate
+            stepping (also settable via ``REPRO_STEPPING``; see
+            :class:`~repro.sim.multirate.MultiRateEngine`).
     """
 
     n_rows: int = 3
@@ -68,6 +76,7 @@ class ExperimentConfig:
     audit: bool = False
     telemetry_dir: "str | None" = None
     profile: bool = False
+    stepping: str = "fixed"
 
     def __post_init__(self) -> None:
         from ..obs.session import ENV_TELEMETRY, profile_from_env
@@ -90,6 +99,16 @@ class ExperimentConfig:
             self.telemetry_dir = env_telemetry
         if profile_from_env():
             self.profile = True
+        env_stepping = os.environ.get(ENV_STEPPING)
+        if env_stepping:
+            self.stepping = env_stepping
+        from ..sim.multirate import STEPPING_MODES
+
+        if self.stepping not in STEPPING_MODES:
+            raise ConfigurationError(
+                f"stepping must be one of {STEPPING_MODES}, got "
+                f"{self.stepping!r}"
+            )
         if self.n_rows < 1:
             raise ConfigurationError("n_rows must be >= 1")
         if self.max_workers < 1:
@@ -137,6 +156,7 @@ class ExperimentConfig:
             use_cache=True,
             telemetry=self.telemetry_dir,
             profile=self.profile,
+            stepping=self.stepping,
         )
 
 

@@ -1,0 +1,352 @@
+"""The opt-in multi-rate (event-driven) stepping driver.
+
+The fixed-step :class:`~repro.sim.engine.Engine` ticks every component
+once per millisecond even through long stretches where nothing decides
+anything: no job in the queue, no socket busy, no fault transition or
+interval boundary due.  The paper's physics is two-timescale (~5 ms
+chip vs ~30 s socket RC constants), so those stretches are pure
+first-order relaxation with a closed-form solution.
+
+:class:`MultiRateEngine` drives the *same* pipeline through a
+three-hook extension of the :class:`~repro.sim.pipeline.StepComponent`
+protocol:
+
+- ``next_event_step(ctx)`` — the earliest step at or after the current
+  one at which the component acts (arrival admissions, migration / fan
+  / trace / audit interval boundaries, fault-schedule transitions).
+  ``None`` means "never constrains the window".
+- ``is_quiescent(ctx)`` — a state-dependent veto: pending queue
+  entries, busy sockets, latched thermal trips or insufficient
+  trip-guard headroom all keep the engine in fixed stepping.  The base
+  class answers ``False`` so unknown components disable windows by
+  default.
+- ``on_window(ctx, plan)`` — applies a whole decision-free window's
+  aggregate effect, called in pipeline order.  The thermal updater
+  advances the closed form (and may truncate the window via
+  ``plan.steps_advanced``); everything downstream honours the
+  truncated count.
+
+The driver scans for the nearest upcoming event, and when the gap is
+at least :attr:`MultiRateConfig.min_window_steps` it replaces that many
+fixed steps with one ``on_window`` sweep.  Inside decision windows —
+and whenever any component vetoes — it falls back to plain fixed
+1 ms stepping, calling the identical ``on_step`` hooks the fixed
+engine would.
+
+Correctness contract (pinned by ``tests/test_multirate_differential.py``
+and ``benchmarks/bench_multirate.py``): all discrete decisions
+(placements, frequency selections, trips, migrations, completions) are
+bit-identical to fixed stepping — every decision is still taken by a
+plain fixed step on bit-exactly-reached inputs where it matters — so
+the decision fingerprint (:func:`repro.sim.fingerprint.
+decision_fingerprint`) matches exactly, while mid-window temperature
+traces carry a bounded error (epsilon) controlled by
+:attr:`MultiRateConfig.tolerance_c`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from .pipeline import EngineContext, StepComponent
+from .results import SimulationResult
+
+#: The stepping modes the engine seam accepts.
+STEPPING_MODES = ("fixed", "adaptive")
+
+
+@dataclass(frozen=True)
+class MultiRateConfig:
+    """Tuning knobs of the adaptive driver.
+
+    Attributes:
+        tolerance_c: Maximum sink-node movement per closed-form substep,
+            degC.  The sink drives the frozen-ambient (coupling) error,
+            so this bounds the epsilon of mid-window temperature traces;
+            smaller values refresh the coupling chain more often.
+        trip_guard_c: Guard band below the thermal-trip temperature,
+            degC.  Windows only open while every chip's whole idle
+            trajectory (current, target and idle-equilibrium
+            temperature) stays below ``trip_c - trip_guard_c``; a
+            latched mid-window check at half the band truncates the
+            window early.
+        min_window_steps: Smallest gap to the next event worth taking
+            as a window; shorter gaps degenerate to plain fixed
+            stepping with zero protocol overhead beyond the scan.
+    """
+
+    tolerance_c: float = 0.05
+    trip_guard_c: float = 2.0
+    min_window_steps: int = 4
+
+    def __post_init__(self) -> None:
+        if self.tolerance_c <= 0:
+            raise ConfigurationError(
+                f"tolerance_c must be positive, got {self.tolerance_c}"
+            )
+        if self.trip_guard_c < 0:
+            raise ConfigurationError(
+                f"trip_guard_c must be non-negative, got "
+                f"{self.trip_guard_c}"
+            )
+        if self.min_window_steps < 1:
+            raise ConfigurationError(
+                f"min_window_steps must be >= 1, got "
+                f"{self.min_window_steps}"
+            )
+
+
+@dataclass
+class WindowPlan:
+    """One decision-free window handed through ``on_window`` hooks.
+
+    Attributes:
+        start: First step the window covers.
+        end: One past the last step the window may cover (exclusive).
+        chip_max: Per-socket running maximum of substep-end chip
+            temperatures, maintained by the thermal updater for the
+            metrics accumulator's high-water mark.
+        steps_advanced: Steps actually covered — the thermal updater
+            sets this, and may set it below ``end - start`` when its
+            trip guard truncates the window.  Components ordered after
+            it must use this count, and the engine resumes fixed
+            stepping at ``start + steps_advanced``.
+        n_substeps: Closed-form substeps the advance used.
+    """
+
+    start: int
+    end: int
+    chip_max: Optional[np.ndarray] = None
+    steps_advanced: int = 0
+    n_substeps: int = 0
+
+    @property
+    def n_steps(self) -> int:
+        """Steps the window spans at most."""
+        return self.end - self.start
+
+
+def boundary_step(time_s: float, dt: float) -> int:
+    """Smallest step ``s`` with ``s * dt >= time_s``, predicate-exact.
+
+    ``ceil(time_s / dt)`` alone can land one step off when the division
+    rounds across the boundary; the fix-up loops re-check the exact
+    float predicate the engine itself evaluates (``step * dt``), so the
+    returned step is the first one whose clock time reaches
+    ``time_s`` — bit-for-bit the step at which ``t >= time_s`` flips.
+    """
+    step = max(int(np.ceil(time_s / dt)), 0)
+    while step * dt < time_s:
+        step += 1
+    while step > 0 and (step - 1) * dt >= time_s:
+        step -= 1
+    return step
+
+
+class MultiRateEngine:
+    """Drives a component pipeline with adaptive window skipping.
+
+    A drop-in alternative to :class:`~repro.sim.engine.Engine` for the
+    same pipeline: identical ``on_run_start`` / ``on_run_end``
+    lifecycle, identical ``on_step`` calls for every executed fixed
+    step, plus closed-form window advances over detected quiescent
+    stretches.  The run summary lands in ``result.stepping``.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[StepComponent],
+        config: Optional[MultiRateConfig] = None,
+        profiler=None,
+    ):
+        if not components:
+            raise SimulationError("engine needs at least one component")
+        self.components = list(components)
+        self.config = config if config is not None else MultiRateConfig()
+        self.profiler = profiler
+
+    def run(self, ctx: EngineContext) -> SimulationResult:
+        """Drive the pipeline over the configured horizon."""
+        thermal = ctx.state.thermal
+        if abs(thermal.socket_tau_s - thermal.chip_tau_s) <= (
+            1e-9 * max(thermal.socket_tau_s, thermal.chip_tau_s)
+        ):
+            raise ConfigurationError(
+                "adaptive stepping needs distinct chip and socket time "
+                "constants (the closed-form window advance would be "
+                "resonant); use stepping='fixed'"
+            )
+        ctx.multirate = self.config
+        components = self.components
+        profiler = self.profiler
+        instrumented = profiler is not None
+        clock = None
+        window_bucket = None
+        run_started = 0.0
+        if instrumented:
+            profiler.bind(components)
+            clock = profiler.clock
+            ctx.profile_buckets = profiler.buckets
+            ctx.profile_clock = clock
+            window_bucket = profiler.buckets.setdefault(
+                "window:advance", [0, 0.0]
+            )
+            run_started = clock()
+        totals = profiler.totals_s if instrumented else None
+        prev = run_started
+        for i, component in enumerate(components):
+            component.on_run_start(ctx)
+            if instrumented:
+                now = clock()
+                totals[i] += now - prev
+                prev = now
+        hooks = tuple(c.on_step for c in components)
+        # The window protocol is duck-typed like the step protocol:
+        # a component without ``is_quiescent`` permanently vetoes
+        # windows (the conservative default for unknown observers),
+        # one without ``next_event_step`` never constrains them, and
+        # one without ``on_window`` contributes nothing to a window.
+        quiescent_probes = tuple(
+            getattr(c, "is_quiescent", None) for c in components
+        )
+        event_probes = tuple(
+            getattr(c, "next_event_step", None) for c in components
+        )
+        window_hooks = tuple(
+            getattr(c, "on_window", None) for c in components
+        )
+        state = ctx.state
+        dt = ctx.dt
+        n_steps = ctx.n_steps
+        warmup = ctx.warmup_s
+        warmup_step = boundary_step(warmup, dt)
+        chip_max = np.empty(ctx.topology.n_sockets)
+        executed = 0
+        skipped = 0
+        n_windows = 0
+        n_substeps = 0
+        step = 0
+        while step < n_steps:
+            t = step * dt
+            ctx.step = step
+            ctx.time_s = t
+            state.time_s = t
+            ctx.in_window = t >= warmup
+            end = self._window_end(
+                ctx, step, warmup_step, quiescent_probes, event_probes
+            )
+            if end is not None:
+                chip_max.fill(-np.inf)
+                plan = WindowPlan(
+                    start=step, end=end, chip_max=chip_max
+                )
+                if instrumented:
+                    started = clock()
+                for window_hook in window_hooks:
+                    if window_hook is not None:
+                        window_hook(ctx, plan)
+                if instrumented:
+                    window_bucket[0] += 1
+                    window_bucket[1] += clock() - started
+                advanced = plan.steps_advanced
+                if advanced > 0:
+                    n_windows += 1
+                    n_substeps += plan.n_substeps
+                    skipped += advanced
+                    telemetry = ctx.telemetry
+                    if telemetry is not None:
+                        telemetry.emit(
+                            "window_skip",
+                            step=step,
+                            t=t,
+                            n_steps=int(advanced),
+                            n_substeps=int(plan.n_substeps),
+                        )
+                    # Leave the clock on the last covered step, as if
+                    # that step had just executed.
+                    last = step + advanced - 1
+                    t_last = last * dt
+                    ctx.step = last
+                    ctx.time_s = t_last
+                    state.time_s = t_last
+                    step += advanced
+                    continue
+                # A window that advanced nothing (no closed-form seat
+                # in the pipeline) degenerates to a plain fixed step.
+            if instrumented:
+                hook_prev = clock()
+                for i, hook in enumerate(hooks):
+                    hook(ctx)
+                    now = clock()
+                    totals[i] += now - hook_prev
+                    hook_prev = now
+            else:
+                for hook in hooks:
+                    hook(ctx)
+            executed += 1
+            step += 1
+        for i, component in enumerate(components):
+            if instrumented:
+                prev = clock()
+            component.on_run_end(ctx)
+            if instrumented:
+                totals[i] += clock() - prev
+        ctx.result.stepping = {
+            "mode": "adaptive",
+            "n_steps": n_steps,
+            "executed_steps": executed,
+            "skipped_steps": skipped,
+            "n_windows": n_windows,
+            "n_substeps": n_substeps,
+        }
+        if instrumented:
+            profiler.calls = [executed + 2] * len(components)
+            profiler.n_steps = max(executed, 1)
+            profiler.engine_elapsed_s = clock() - run_started
+            ctx.result.profile = profiler.profile()
+        return ctx.result
+
+    def _window_end(
+        self,
+        ctx: EngineContext,
+        step: int,
+        warmup_step: int,
+        quiescent_probes,
+        event_probes,
+    ) -> Optional[int]:
+        """The exclusive end of a quiescent window starting now, if any.
+
+        Polls every component's veto, then intersects their next-event
+        horizons; the warm-up boundary and the run horizon cap the
+        window so it never straddles the measurement-window edge.
+        Returns ``None`` when no window of at least
+        ``min_window_steps`` opens (including when any component acts
+        at the current step).
+        """
+        limit = ctx.n_steps
+        if step < warmup_step:
+            limit = min(limit, warmup_step)
+        min_steps = self.config.min_window_steps
+        if step + min_steps > limit:
+            return None
+        for probe in quiescent_probes:
+            if probe is None or not probe(ctx):
+                return None
+        end = limit
+        for probe in event_probes:
+            if probe is None:
+                continue
+            event = probe(ctx)
+            if event is None:
+                continue
+            if event <= step:
+                return None
+            if event < end:
+                end = event
+        if end - step < min_steps:
+            return None
+        return end

@@ -108,6 +108,7 @@ def config_key(
     benchmark_set: BenchmarkSet,
     load: float,
     fault_schedule=None,
+    stepping: str = "fixed",
 ) -> str:
     """Memo-cache key for one fully specified sweep point.
 
@@ -116,6 +117,11 @@ def config_key(
             FaultSchedule` active for the point; its content fingerprint
             joins the key, so faulted and fault-free runs of the same
             grid point never collide in the cache or on disk.
+        stepping: Engine stepping mode; joins the key only when it is
+            not the default ``"fixed"``, so every pre-existing cache
+            and checkpoint key is unchanged while adaptive results can
+            never alias fixed ones (their epsilon-bounded thermal
+            fields differ).
     """
     digest = hashlib.sha256()
     digest.update(topology_token(topology))
@@ -126,6 +132,8 @@ def config_key(
     if fault_schedule is not None:
         digest.update(b"|faults:")
         digest.update(fault_schedule.fingerprint().encode())
+    if stepping != "fixed":
+        digest.update(f"|stepping:{stepping}".encode())
     return digest.hexdigest()
 
 
@@ -239,6 +247,8 @@ def _run_point(
     telemetry=None,
     profile: bool = False,
     point_key: Optional[str] = None,
+    stepping: str = "fixed",
+    multirate=None,
 ) -> SimulationResult:
     """Execute one sweep point; runs in workers and in the serial path.
 
@@ -273,6 +283,8 @@ def _run_point(
         telemetry=telemetry,
         profile=profile,
         run_name=run_name,
+        stepping=stepping,
+        multirate=multirate,
     )
 
 
@@ -299,6 +311,8 @@ def execute_sweep(
     checkpoint: Optional[SweepCheckpoint] = None,
     telemetry=None,
     profile: bool = False,
+    stepping: str = "fixed",
+    multirate=None,
 ) -> List[SimulationResult]:
     """Run every sweep point, in parallel where possible.
 
@@ -344,6 +358,12 @@ def execute_sweep(
             its own per-run event log and manifest there.
         profile: Attach per-component wall-clock accounting to every
             point's ``result.profile``.
+        stepping: ``"fixed"`` (default) or ``"adaptive"`` — engine
+            stepping mode applied to every point (see
+            :class:`~repro.sim.multirate.MultiRateEngine`).  A
+            non-default mode joins the cache/checkpoint key.
+        multirate: Optional :class:`~repro.sim.multirate.
+            MultiRateConfig` for the adaptive driver.
 
     Returns:
         One :class:`~repro.sim.results.SimulationResult` per point, in
@@ -383,6 +403,7 @@ def execute_sweep(
                 params,
                 *point,
                 fault_schedule=fault_schedule,
+                stepping=stepping,
             )
         if cache is not None:
             hit = cache.get(keys[i])
@@ -437,6 +458,7 @@ def execute_sweep(
                 fault_schedule=fault_schedule,
                 result=result,
                 profile=result.profile,
+                stepping=stepping,
             )
             checkpoint.save(keys[i], result, manifest=manifest)
             if session is not None:
@@ -475,6 +497,8 @@ def execute_sweep(
                     profile=profile,
                     keys=keys,
                     session=session,
+                    stepping=stepping,
+                    multirate=multirate,
                 )
             for i in serial:
                 record(
@@ -489,6 +513,8 @@ def execute_sweep(
                         telemetry=telemetry,
                         profile=profile,
                         point_key=keys[i],
+                        stepping=stepping,
+                        multirate=multirate,
                     ),
                 )
         if session is not None:
@@ -516,6 +542,8 @@ def _run_pool(
     profile: bool = False,
     keys: Optional[Sequence[Optional[str]]] = None,
     session=None,
+    stepping: str = "fixed",
+    multirate=None,
 ) -> List[int]:
     """Fan points out over a fork-based process pool, with recovery.
 
@@ -565,6 +593,8 @@ def _run_pool(
                     telemetry,
                     profile,
                     keys[i] if keys is not None else None,
+                    stepping,
+                    multirate,
                 )
                 for i in remaining
             }

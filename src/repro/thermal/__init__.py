@@ -22,7 +22,12 @@ This package implements every thermal model the paper relies on:
 from .heatsink import HeatSink, FIN_18, FIN_30
 from .chip_model import SimplifiedChipModel, peak_temperature
 from .detailed_model import DetailedChipModel, DetailedChipResult
-from .dynamics import TwoNodeThermalState, exponential_step
+from .dynamics import (
+    TwoNodeThermalState,
+    WindowModes,
+    ema_window_sum,
+    exponential_step,
+)
 from .airflow import FanModel, airflow_table, server_airflow_requirement
 from .fan_control import FanController
 from .coupling import CouplingChain, CouplingMatrix
@@ -41,6 +46,8 @@ __all__ = [
     "DetailedChipModel",
     "DetailedChipResult",
     "TwoNodeThermalState",
+    "WindowModes",
+    "ema_window_sum",
     "exponential_step",
     "FanModel",
     "FanController",

@@ -280,6 +280,8 @@ class _FlakyRunPoint:
         telemetry=None,
         profile=False,
         point_key=None,
+        stepping="fixed",
+        multirate=None,
     ):
         from repro.core import get_scheduler
         from repro.sim.runner import run_once
@@ -307,6 +309,8 @@ class _FlakyRunPoint:
             fault_schedule=fault_schedule,
             telemetry=telemetry,
             profile=profile,
+            stepping=stepping,
+            multirate=multirate,
         )
 
 

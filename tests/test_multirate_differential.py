@@ -1,0 +1,259 @@
+"""Differential oracle: adaptive stepping vs the fixed-step engine.
+
+The multi-rate driver (:mod:`repro.sim.multirate`) promises two things,
+and this suite pins both against the fixed-step engine as the oracle:
+
+1. **Bit-identical decisions.**  Every discrete decision — placements,
+   completions, migrations, DVFS selections, thermal trips — is taken
+   by a plain fixed step on bit-exactly reproduced inputs, so the
+   decision fingerprint (:func:`repro.sim.fingerprint.
+   decision_fingerprint`) of an adaptive run equals the fixed run's
+   exactly, over the same 19-configuration oracle the fault-identity
+   suite uses.
+
+2. **Bounded epsilon elsewhere.**  Mid-window thermal trajectories are
+   advanced in closed form under frozen coupling, so the epsilon-set
+   fields (``energy_j``, ``cooling_energy_j``, ``max_chip_c``,
+   ``mean_airflow_scale``) and sampled temperature traces may drift,
+   but only within an explicit bound tied to
+   :attr:`~repro.sim.multirate.MultiRateConfig.tolerance_c`.
+
+The fuzz harness then widens the net: seeded random topologies x
+schedulers x fault schedules x loads, a reduced matrix by default and
+the full matrix under ``REPRO_SLOW_TESTS=1``.  Any configuration whose
+decisions diverge or whose epsilon is exceeded is a reproducible
+counterexample (its case tuple is the test id).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import all_scheduler_names, get_scheduler
+from repro.faults import FaultSchedule
+from repro.server.topology import moonshot_sut
+from repro.sim.fingerprint import decision_fingerprint
+from repro.sim.multirate import MultiRateConfig
+from repro.sim.runner import run_once
+from repro.workloads.benchmark import BenchmarkSet
+
+#: Bound on the per-sample / end-state temperature drift of an adaptive
+#: run, degC.  The driver caps sink movement per closed-form substep at
+#: ``tolerance_c`` (default 0.05), which bounds the frozen-coupling
+#: error; a handful of multiples absorbs accumulation across substeps.
+EPSILON_C = 0.25
+
+#: Bound on the relative drift of integrated energies.
+EPSILON_ENERGY_REL = 1e-3
+
+SLOW = os.environ.get("REPRO_SLOW_TESTS", "") not in ("", "0")
+
+
+def _oracle_configs():
+    """The same 19 (scheduler, set, load) points the identity suite pins."""
+    configs = [
+        (name, BenchmarkSet.COMPUTATION, 0.5)
+        for name in all_scheduler_names()
+    ]
+    for benchmark_set in (
+        BenchmarkSet.COMPUTATION,
+        BenchmarkSet.GENERAL_PURPOSE,
+        BenchmarkSet.STORAGE,
+    ):
+        for load in (0.3, 0.9):
+            configs.append(("CF", benchmark_set, load))
+    return configs
+
+
+def _assert_epsilon_close(fixed, adaptive):
+    """Check the epsilon-set result fields stay within their bounds."""
+    assert np.all(
+        np.abs(adaptive.max_chip_c - fixed.max_chip_c) <= EPSILON_C
+    ), "max_chip_c drifted beyond epsilon"
+    for field in ("energy_j", "cooling_energy_j"):
+        reference = getattr(fixed, field)
+        drift = abs(getattr(adaptive, field) - reference)
+        allowed = EPSILON_ENERGY_REL * max(abs(reference), 1.0)
+        assert drift <= allowed, f"{field} drifted beyond epsilon"
+    assert abs(
+        adaptive.mean_airflow_scale - fixed.mean_airflow_scale
+    ) <= EPSILON_ENERGY_REL
+
+
+@pytest.mark.parametrize(
+    "scheme,benchmark_set,load",
+    _oracle_configs(),
+    ids=lambda value: getattr(value, "value", value),
+)
+def test_decisions_bit_identical_on_oracle(
+    small_sut, scheme, benchmark_set, load
+):
+    params = smoke(seed=4)
+    fixed = run_once(
+        small_sut, params, get_scheduler(scheme), benchmark_set, load
+    )
+    adaptive = run_once(
+        small_sut,
+        params,
+        get_scheduler(scheme),
+        benchmark_set,
+        load,
+        stepping="adaptive",
+    )
+    assert decision_fingerprint(fixed) == decision_fingerprint(adaptive)
+    _assert_epsilon_close(fixed, adaptive)
+    # The stepping summary is attached (and only for adaptive runs) and
+    # accounts for every engine step exactly once.
+    assert fixed.stepping is None
+    summary = adaptive.stepping
+    assert summary is not None and summary["mode"] == "adaptive"
+    assert (
+        summary["executed_steps"] + summary["skipped_steps"]
+        == summary["n_steps"]
+    )
+
+
+def test_trace_samples_within_epsilon(small_sut):
+    """Sampled temperature traces obey the explicit epsilon bound.
+
+    Trace sample boundaries block quiescent windows, so both modes
+    sample at the *identical* steps — the per-sample chip-temperature
+    differences are exactly the mid-window epsilon the closed form is
+    allowed.
+    """
+    from repro.sim.engine import Simulation
+    from repro.sim.tracing import TraceConfig
+    from repro.workloads.arrivals import ArrivalProcess
+
+    params = smoke(seed=4)
+    traces = {}
+    for stepping in ("fixed", "adaptive"):
+        jobs = ArrivalProcess(
+            benchmark_set=BenchmarkSet.COMPUTATION,
+            load=0.2,
+            n_sockets=small_sut.n_sockets,
+            seed=params.seed,
+            duration_scale=params.duration_scale,
+        ).generate(params.sim_time_s)
+        result = Simulation(
+            small_sut,
+            params,
+            get_scheduler("CF"),
+            trace_config=TraceConfig(interval_s=0.1),
+            stepping=stepping,
+        ).run(jobs)
+        traces[stepping] = result.trace
+    fixed, adaptive = traces["fixed"], traces["adaptive"]
+    assert fixed.times_s == adaptive.times_s
+    for field in ("mean_chip_c", "max_chip_c"):
+        drift = np.abs(
+            np.asarray(getattr(adaptive, field))
+            - np.asarray(getattr(fixed, field))
+        )
+        assert drift.max() <= EPSILON_C, f"trace {field} beyond epsilon"
+
+
+def test_tighter_tolerance_shrinks_epsilon(small_sut):
+    """tolerance_c is a real knob: tightening it cannot worsen epsilon."""
+    params = smoke(seed=4)
+    fixed = run_once(
+        small_sut,
+        params,
+        get_scheduler("CF"),
+        BenchmarkSet.COMPUTATION,
+        0.1,
+    )
+    drifts = {}
+    # 0.05 is the default; tolerances far looser than the default can
+    # drift mid-window temperatures enough to perturb *later* decisions
+    # and are outside the bit-identity contract.
+    for tolerance in (0.05, 0.005):
+        adaptive = run_once(
+            small_sut,
+            params,
+            get_scheduler("CF"),
+            BenchmarkSet.COMPUTATION,
+            0.1,
+            stepping="adaptive",
+            multirate=MultiRateConfig(tolerance_c=tolerance),
+        )
+        assert decision_fingerprint(fixed) == decision_fingerprint(
+            adaptive
+        )
+        drifts[tolerance] = float(
+            np.abs(adaptive.max_chip_c - fixed.max_chip_c).max()
+        )
+    assert drifts[0.005] <= drifts[0.05] + 1e-12
+
+
+# -- seeded fuzz matrix --------------------------------------------------
+
+
+def _fuzz_cases(n_cases: int):
+    """Reproducible random (topology, scheduler, faults, load) cases.
+
+    One seeded generator drives every choice, so the matrix — and any
+    counterexample it surfaces — replays bit-identically.
+    """
+    rng = np.random.default_rng(20260808)
+    names = all_scheduler_names()
+    sets = (
+        BenchmarkSet.COMPUTATION,
+        BenchmarkSet.GENERAL_PURPOSE,
+        BenchmarkSet.STORAGE,
+    )
+    cases = []
+    for index in range(n_cases):
+        n_rows = int(rng.integers(1, 4))
+        scheme = names[int(rng.integers(len(names)))]
+        benchmark_set = sets[int(rng.integers(len(sets)))]
+        load = round(float(rng.uniform(0.05, 0.95)), 3)
+        fault_seed = (
+            int(rng.integers(10_000)) if rng.random() < 0.5 else None
+        )
+        seed = int(rng.integers(10_000))
+        cases.append(
+            (index, n_rows, scheme, benchmark_set, load, fault_seed, seed)
+        )
+    return cases
+
+
+@pytest.mark.parametrize(
+    "index,n_rows,scheme,benchmark_set,load,fault_seed,seed",
+    _fuzz_cases(24 if SLOW else 6),
+    ids=lambda value: getattr(value, "value", value),
+)
+def test_fuzz_fixed_vs_adaptive(
+    index, n_rows, scheme, benchmark_set, load, fault_seed, seed
+):
+    topology = moonshot_sut(n_rows=n_rows)
+    params = smoke(seed=seed)
+    fault_schedule = None
+    if fault_seed is not None:
+        fault_schedule = FaultSchedule.random(
+            topology,
+            seed=fault_seed,
+            n_events=3,
+            horizon_s=params.sim_time_s,
+        )
+    fixed = run_once(
+        topology,
+        params,
+        get_scheduler(scheme),
+        benchmark_set,
+        load,
+        fault_schedule=fault_schedule,
+    )
+    adaptive = run_once(
+        topology,
+        params,
+        get_scheduler(scheme),
+        benchmark_set,
+        load,
+        fault_schedule=fault_schedule,
+        stepping="adaptive",
+    )
+    assert decision_fingerprint(fixed) == decision_fingerprint(adaptive)
+    _assert_epsilon_close(fixed, adaptive)

@@ -1,0 +1,519 @@
+"""Edge cases of quiescent-window detection in the multi-rate driver.
+
+Windows are only correct if they end *before* anything discrete can
+happen.  These tests pin the boundary arithmetic at its sharpest
+corners: an arrival landing exactly on a step boundary, a fault
+transition one step inside a would-be window, a latched thermal trip
+truncating a window from within, and the degenerate configurations
+where windows never open and the adaptive driver must reproduce the
+fixed engine bit-for-bit — including its telemetry stream, modulo the
+``window_skip`` events only the adaptive driver emits.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config.presets import smoke
+from repro.core import get_scheduler
+from repro.faults.events import FanLaneFault
+from repro.faults.schedule import FaultResponse, FaultSchedule
+from repro.sim.engine import Simulation
+from repro.sim.fingerprint import (
+    decision_fingerprint,
+    result_fingerprint,
+)
+from repro.sim.multirate import (
+    MultiRateConfig,
+    WindowPlan,
+    boundary_step,
+)
+from repro.sim.pipeline import StepComponent
+from repro.sim.runner import run_once
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.benchmark import BenchmarkSet
+
+
+class RecordingProbe(StepComponent):
+    """Passive observer capturing every window plan and executed step.
+
+    Quiescent-transparent by construction: it never vetoes a window,
+    never constrains one, and records the plan *after* the thermal
+    updater has fixed ``steps_advanced`` (extras run last in pipeline
+    order).
+    """
+
+    def __init__(self) -> None:
+        self.plans = []
+        self.steps = []
+
+    def on_step(self, ctx) -> None:
+        self.steps.append(ctx.step)
+
+    def next_event_step(self, ctx):
+        return None
+
+    def is_quiescent(self, ctx) -> bool:
+        return True
+
+    def on_window(self, ctx, plan) -> None:
+        self.plans.append(
+            (plan.start, plan.end, plan.steps_advanced, plan.n_substeps)
+        )
+
+
+def _covered(plan) -> range:
+    start, _end, advanced, _sub = plan
+    return range(start, start + advanced)
+
+
+def _run_with_probe(topology, params, load, **kwargs):
+    jobs = ArrivalProcess(
+        benchmark_set=BenchmarkSet.COMPUTATION,
+        load=load,
+        n_sockets=topology.n_sockets,
+        seed=params.seed,
+        duration_scale=params.duration_scale,
+    ).generate(params.sim_time_s)
+    probe = RecordingProbe()
+    result = Simulation(
+        topology,
+        params,
+        get_scheduler("CF"),
+        extra_components=(probe,),
+        stepping="adaptive",
+        **kwargs,
+    ).run(jobs)
+    return result, probe
+
+
+def test_boundary_step_is_predicate_exact():
+    """boundary_step returns the first step whose clock reaches t.
+
+    Checked against the engine's own predicate (``step * dt >= t``)
+    over deliberately awkward float combinations, including times that
+    are bit-exact step multiples and times eps away on either side.
+    """
+    for dt in (0.001, 0.002, 1.0 / 3.0, 0.0007):
+        for base in (0, 1, 3, 250, 999, 12345):
+            exact = base * dt
+            for time_s in (
+                exact,
+                np.nextafter(exact, np.inf),
+                np.nextafter(exact, -np.inf),
+                exact + 0.4 * dt,
+            ):
+                if time_s < 0:
+                    continue
+                step = boundary_step(float(time_s), dt)
+                assert step * dt >= time_s
+                if step > 0:
+                    assert (step - 1) * dt < time_s
+
+
+def test_arrival_exactly_on_window_boundary(small_sut):
+    """A window must end exactly at an arrival's admission step.
+
+    The job's arrival time is a bit-exact step multiple — the hardest
+    case for the boundary arithmetic, where ``ceil`` alone could land
+    one step early or late on either side of the admission predicate.
+    """
+    params = smoke(seed=4)
+    dt = params.power_manager_interval_s
+    arrival_step = 700
+    jobs = ArrivalProcess(
+        benchmark_set=BenchmarkSet.COMPUTATION,
+        load=0.2,
+        n_sockets=small_sut.n_sockets,
+        seed=params.seed,
+        duration_scale=params.duration_scale,
+    ).generate(params.sim_time_s)[:2]
+    jobs[0].arrival_s = 5 * dt
+    jobs[1].arrival_s = arrival_step * dt  # bit-exact boundary
+    probe = RecordingProbe()
+    adaptive = Simulation(
+        small_sut,
+        params,
+        get_scheduler("CF"),
+        extra_components=(probe,),
+        stepping="adaptive",
+    ).run(jobs)
+    fixed = Simulation(small_sut, params, get_scheduler("CF")).run(jobs)
+    assert decision_fingerprint(fixed) == decision_fingerprint(adaptive)
+    # The admission step was executed as a plain fixed step, never
+    # covered by any window...
+    assert arrival_step in probe.steps
+    assert all(
+        arrival_step not in _covered(plan) for plan in probe.plans
+    )
+    # ...and the window leading up to it ended exactly on the boundary.
+    assert any(
+        start + advanced == arrival_step
+        for start, _end, advanced, _sub in probe.plans
+    )
+
+
+def test_fault_transition_one_step_inside_would_be_window(small_sut):
+    """No window may cover a fault activation, even one step deep.
+
+    The fan fault activates one step after a long idle stretch begins —
+    exactly the off-by-one a naive ``>`` vs ``>=`` horizon comparison
+    would cover in a window.
+    """
+    params = smoke(seed=4)
+    dt = params.power_manager_interval_s
+    activation_step = 451  # one step past the 0.9 s boundary
+    deactivation_s = 1.2
+    schedule = FaultSchedule(
+        events=(
+            FanLaneFault(
+                start_s=activation_step * dt,
+                end_s=deactivation_s,
+                row=0,
+                lane=0,
+                scale=0.5,
+            ),
+        )
+    )
+    # One early job (completes long before the fault) and one inside
+    # the measurement window, leaving a long idle stretch around the
+    # fault's activation for windows to open in.
+    jobs = ArrivalProcess(
+        benchmark_set=BenchmarkSet.COMPUTATION,
+        load=0.2,
+        n_sockets=small_sut.n_sockets,
+        seed=params.seed,
+        duration_scale=params.duration_scale,
+    ).generate(params.sim_time_s)[:2]
+    jobs[0].arrival_s = 5 * dt
+    jobs[1].arrival_s = 700 * dt
+    probe = RecordingProbe()
+    adaptive = Simulation(
+        small_sut,
+        params,
+        get_scheduler("CF"),
+        fault_schedule=schedule,
+        extra_components=(probe,),
+        stepping="adaptive",
+    ).run(jobs)
+    fixed = Simulation(
+        small_sut,
+        params,
+        get_scheduler("CF"),
+        fault_schedule=schedule,
+    ).run(jobs)
+    assert decision_fingerprint(fixed) == decision_fingerprint(adaptive)
+    assert probe.plans, "expected idle stretches to open windows"
+    deactivation_step = boundary_step(deactivation_s, dt)
+    for transition in (activation_step, deactivation_step):
+        assert transition in probe.steps
+        assert all(
+            transition not in _covered(plan) for plan in probe.plans
+        )
+    assert any(
+        start + advanced == activation_step
+        for start, _end, advanced, _sub in probe.plans
+    )
+
+
+def test_latched_trip_blocks_windows(small_sut):
+    """While a thermal trip is latched no window may open.
+
+    A deeply negative trip margin forces trips at ordinary operating
+    temperatures; the power manager's veto must hold the engine in
+    fixed stepping for the whole latched stretch, and decisions (the
+    trips themselves included) must match the fixed engine exactly.
+    """
+    params = smoke(seed=4)
+    schedule = FaultSchedule(
+        response=FaultResponse(trip_margin_c=-45.0)
+    )
+    fixed = run_once(
+        small_sut,
+        params,
+        get_scheduler("CF"),
+        BenchmarkSet.COMPUTATION,
+        0.6,
+        fault_schedule=schedule,
+    )
+    assert fixed.fault_summary["n_trips"] > 0, (
+        "scenario must actually trip for this test to bite"
+    )
+    adaptive = run_once(
+        small_sut,
+        params,
+        get_scheduler("CF"),
+        BenchmarkSet.COMPUTATION,
+        0.6,
+        fault_schedule=schedule,
+        stepping="adaptive",
+    )
+    assert decision_fingerprint(fixed) == decision_fingerprint(adaptive)
+    assert (
+        adaptive.fault_summary["n_trips"]
+        == fixed.fault_summary["n_trips"]
+    )
+
+
+def test_trip_guard_truncates_window_mid_flight(small_sut):
+    """The thermal updater cuts a window short when chips run hot.
+
+    Drives ``on_window`` directly with a synthetic hot state above the
+    (lowered) trip limit and a tolerance small enough to force short
+    substeps: the advance must stop at the first substep boundary and
+    report fewer steps than the plan allowed, so the engine resumes
+    fixed stepping before a trip could latch unobserved.
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.sim.pipeline import (
+        EngineContext,
+        ThermalUpdater,
+        build_pipeline,
+    )
+
+    params = smoke(seed=0)
+    injector = FaultInjector(
+        FaultSchedule(response=FaultResponse(trip_margin_c=-100.0))
+    )
+    components = build_pipeline(fault_injector=injector)
+    ctx = EngineContext.create(
+        small_sut, params, get_scheduler("CF"), [], n_jobs_submitted=0
+    )
+    for component in components:
+        component.on_run_start(ctx)
+    ctx.multirate = MultiRateConfig(tolerance_c=1e-4)
+    state = ctx.state
+    state.thermal.sink_c = state.thermal.sink_c + 60.0
+    state.thermal.chip_c = state.thermal.chip_c + 80.0
+    plan = WindowPlan(
+        start=0, end=500, chip_max=np.full(small_sut.n_sockets, -np.inf)
+    )
+    # Window hooks in pipeline order up to the thermal updater, exactly
+    # as the driver would (the power manager seeds the frozen idle
+    # power the closed form consumes).
+    for component in components:
+        hook = getattr(component, "on_window", None)
+        if hook is not None:
+            hook(ctx, plan)
+        if isinstance(component, ThermalUpdater):
+            break
+    assert 0 < plan.steps_advanced < plan.n_steps
+    assert plan.n_substeps >= 1
+    # The high-water mark saw the hot excursion the truncation caught.
+    assert float(plan.chip_max.max()) >= ctx.fault_state.trip_c - 1.0
+
+
+def test_degenerate_config_is_fully_bit_identical(small_sut):
+    """min_window_steps beyond the horizon: adaptive == fixed, fully.
+
+    With windows structurally impossible the adaptive driver executes
+    the identical fixed steps in the identical order — the *complete*
+    result fingerprint (epsilon fields included) must match, and the
+    stepping summary must report zero windows.
+    """
+    params = smoke(seed=4)
+    fixed = run_once(
+        small_sut,
+        params,
+        get_scheduler("CF"),
+        BenchmarkSet.COMPUTATION,
+        0.3,
+    )
+    adaptive = run_once(
+        small_sut,
+        params,
+        get_scheduler("CF"),
+        BenchmarkSet.COMPUTATION,
+        0.3,
+        stepping="adaptive",
+        multirate=MultiRateConfig(min_window_steps=10**9),
+    )
+    assert result_fingerprint(fixed) == result_fingerprint(adaptive)
+    summary = adaptive.stepping
+    assert summary["n_windows"] == 0
+    assert summary["skipped_steps"] == 0
+    assert summary["executed_steps"] == summary["n_steps"]
+
+
+def test_no_double_telemetry_and_identical_streams(small_sut, tmp_path):
+    """Telemetry streams match byte-for-byte modulo ``window_skip``.
+
+    Degenerate (too-short) gaps fall back to fixed stepping without
+    emitting anything, so the adaptive stream is exactly the fixed
+    stream plus one well-formed ``window_skip`` line per real window —
+    no duplicated placements, trips or run summaries.
+    """
+    streams = {}
+    results = {}
+    for stepping in ("fixed", "adaptive"):
+        directory = tmp_path / stepping
+        result = run_once(
+            small_sut,
+            smoke(seed=4),
+            get_scheduler("CF"),
+            BenchmarkSet.COMPUTATION,
+            0.3,
+            telemetry=str(directory),
+            stepping=stepping,
+            multirate=(
+                MultiRateConfig(min_window_steps=1)
+                if stepping == "adaptive"
+                else None
+            ),
+        )
+        lines = (
+            (directory / "run-r0.jsonl").read_text().splitlines()
+        )
+        streams[stepping] = lines
+        results[stepping] = result
+    adaptive_events = [json.loads(line) for line in streams["adaptive"]]
+    fixed_events = [json.loads(line) for line in streams["fixed"]]
+    skips = [e for e in adaptive_events if e["type"] == "window_skip"]
+    without_skips = [
+        e for e in adaptive_events if e["type"] != "window_skip"
+    ]
+    # The run summary carries integrated energy — an epsilon field —
+    # so it is compared with the epsilon bound; every other event must
+    # be identical (no duplicated placements, trips or summaries).
+    assert len(without_skips) == len(fixed_events)
+    for adaptive_event, fixed_event in zip(without_skips, fixed_events):
+        if adaptive_event["type"] == "run_end":
+            energy_a = adaptive_event.pop("energy_j")
+            energy_f = fixed_event.pop("energy_j")
+            assert abs(energy_a - energy_f) <= 1e-3 * abs(energy_f)
+        assert adaptive_event == fixed_event
+    summary = results["adaptive"].stepping
+    assert len(skips) == summary["n_windows"]
+    assert (
+        sum(event["n_steps"] for event in skips)
+        == summary["skipped_steps"]
+    )
+    assert all(event["n_steps"] >= 1 for event in skips)
+    assert all(
+        event["n_substeps"] >= 1 for event in skips
+    )
+
+
+def test_boundary_step_fixes_ceil_rounding_up(small_sut):
+    """Times a bit above a bit-exact multiple exercise the up-fixup.
+
+    ``ceil(time_s / dt)`` rounds the quotient *down* across the
+    boundary for these inputs, so the first fix-up loop must bump the
+    step until ``step * dt`` actually reaches ``time_s``.
+    """
+    dt = 0.001
+    for base in (11, 15, 22, 30, 44):
+        time_s = float(np.nextafter(base * dt, np.inf))
+        assert int(np.ceil(time_s / dt)) * dt < time_s  # ceil alone fails
+        step = boundary_step(time_s, dt)
+        assert step * dt >= time_s
+        assert (step - 1) * dt < time_s
+
+
+def test_config_validation_rejects_bad_knobs():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        MultiRateConfig(tolerance_c=0.0)
+    with pytest.raises(ConfigurationError):
+        MultiRateConfig(trip_guard_c=-0.1)
+    with pytest.raises(ConfigurationError):
+        MultiRateConfig(min_window_steps=0)
+
+
+def test_engine_requires_components():
+    from repro.errors import SimulationError
+    from repro.sim.multirate import MultiRateEngine
+
+    with pytest.raises(SimulationError):
+        MultiRateEngine([])
+
+
+def test_driver_rejects_resonant_state_directly(small_sut):
+    """The driver itself guards resonance, not only the engine seam."""
+    from repro.errors import ConfigurationError
+    from repro.sim.multirate import MultiRateEngine
+    from repro.sim.pipeline import EngineContext, build_pipeline
+
+    params = smoke(seed=0)
+    resonant = type(params)(
+        **{
+            **{
+                f.name: getattr(params, f.name)
+                for f in params.__dataclass_fields__.values()
+            },
+            "chip_tau_s": 1.0,
+            "socket_tau_s": 1.0,
+        }
+    )
+    ctx = EngineContext.create(
+        small_sut, resonant, get_scheduler("CF"), [], n_jobs_submitted=0
+    )
+    with pytest.raises(ConfigurationError):
+        MultiRateEngine(build_pipeline()).run(ctx)
+
+
+def test_profiled_adaptive_run_accounts_windows(small_sut):
+    """Profiling an adaptive run yields a window:advance bucket.
+
+    The instrumented driver must keep decisions bit-identical to the
+    unprofiled adaptive run, account every executed fixed step, and
+    bucket the closed-form advances under ``window:advance`` with one
+    call per opened window.
+    """
+    params = smoke(seed=4)
+    plain = run_once(
+        small_sut,
+        params,
+        get_scheduler("CF"),
+        BenchmarkSet.COMPUTATION,
+        0.3,
+        stepping="adaptive",
+    )
+    profiled = run_once(
+        small_sut,
+        params,
+        get_scheduler("CF"),
+        BenchmarkSet.COMPUTATION,
+        0.3,
+        stepping="adaptive",
+        profile=True,
+    )
+    assert decision_fingerprint(plain) == decision_fingerprint(profiled)
+    assert profiled.stepping == plain.stepping
+    profile = profiled.profile
+    assert profile is not None
+    assert profile.n_steps == profiled.stepping["executed_steps"]
+    buckets = {entry.name: entry for entry in profile.buckets}
+    window_bucket = buckets["window:advance"]
+    assert window_bucket.calls >= profiled.stepping["n_windows"]
+    assert window_bucket.total_s >= 0.0
+
+
+def test_resonant_time_constants_are_rejected(small_sut):
+    """Equal chip/socket taus cannot run adaptive (resonant closed form)."""
+    from repro.errors import ConfigurationError
+
+    params = smoke(seed=0)
+    resonant = type(params)(
+        **{
+            **{
+                f.name: getattr(params, f.name)
+                for f in params.__dataclass_fields__.values()
+            },
+            "chip_tau_s": 1.0,
+            "socket_tau_s": 1.0,
+        }
+    )
+    with pytest.raises(ConfigurationError):
+        Simulation(
+            small_sut,
+            resonant,
+            get_scheduler("CF"),
+            stepping="adaptive",
+        )
+    with pytest.raises(ConfigurationError):
+        Simulation(
+            small_sut, params, get_scheduler("CF"), stepping="bogus"
+        )
