@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Lint the array-backend seam: no direct numpy/scipy in seam modules.
+
+The modules refactored onto ``repro.backend`` (docs/architecture.md
+§11) must take their array namespace from the seam — the module-level
+handle ``from ..backend import numpy_xp as np`` for host-side work, or
+an injected :class:`repro.backend.ArrayBackend` for backend-governed
+kernels.  A direct ``import numpy`` there silently reintroduces
+eager-numpy semantics into code that must also run traced under JAX;
+a direct ``scipy`` import bypasses the backend's LinearSolver
+factorization (scipy is an *optional* dependency, import-guarded in
+exactly one place).
+
+Rules enforced:
+
+1. Seam-managed modules (``SEAM_MODULES``) must not import ``numpy``
+   — except the allowlisted scalar reference paths in
+   ``ALLOW_NUMPY``, which validate host Python floats and are
+   documented as staying on eager numpy.
+2. Seam-managed modules must not import ``scipy`` at all.
+3. Repo-wide, ``scipy`` may only be imported from
+   ``backend/numpy_backend.py`` (the guarded LAPACK fast path).
+4. Imports inside ``if TYPE_CHECKING:`` blocks are exempt (typing
+   only, never executed).
+
+Run from the repository root::
+
+    python scripts/lint_backend_seam.py
+
+Exit status 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+#: Modules on the array-backend seam, relative to ``src/repro``.
+SEAM_MODULES = (
+    "core/kernels.py",
+    "core/prediction.py",
+    "sim/batched.py",
+    "sim/pipeline.py",
+    "sim/power_manager.py",
+    "sim/steady_state.py",
+    "thermal/detailed_model.py",
+    "thermal/dynamics.py",
+    "thermal/rc_network.py",
+    "workloads/power_model.py",
+)
+
+#: Seam modules whose *scalar reference* implementations are allowed a
+#: direct numpy import: they validate host Python floats and document
+#: bit-identity of the vectorized paths against themselves.
+ALLOW_NUMPY = frozenset({"workloads/power_model.py"})
+
+#: The one module allowed to import scipy (guarded LAPACK fast path).
+SCIPY_HOME = "backend/numpy_backend.py"
+
+#: Module roots the seam forbids (rule 1 and 2).
+FORBIDDEN_ROOTS = ("numpy", "scipy")
+
+
+def _type_checking_lines(tree: ast.AST) -> set:
+    """Line numbers covered by ``if TYPE_CHECKING:`` blocks."""
+    lines = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = None
+        if isinstance(test, ast.Name):
+            name = test.id
+        elif isinstance(test, ast.Attribute):
+            name = test.attr
+        if name != "TYPE_CHECKING":
+            continue
+        for child in node.body:
+            end = getattr(child, "end_lineno", child.lineno)
+            lines.update(range(child.lineno, end + 1))
+    return lines
+
+
+def _import_roots(node: ast.AST):
+    """Top-level module names an import statement binds."""
+    if isinstance(node, ast.Import):
+        return [alias.name.split(".")[0] for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        if node.level:  # relative import: never a third-party root
+            return []
+        if node.module is None:  # pragma: no cover - "from . import"
+            return []
+        return [node.module.split(".")[0]]
+    return []
+
+
+def check_source(source: str, rel: str) -> List[str]:
+    """Seam violations in one module's source, as report lines.
+
+    Args:
+        source: The module text.
+        rel: Path relative to ``src/repro`` (selects the rule set).
+    """
+    tree = ast.parse(source, filename=rel)
+    exempt = _type_checking_lines(tree)
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if node.lineno in exempt:
+            continue
+        for root in _import_roots(node):
+            if root == "numpy" and rel in ALLOW_NUMPY:
+                continue
+            if root == "scipy" and rel == SCIPY_HOME:
+                continue
+            if root in FORBIDDEN_ROOTS:
+                violations.append(
+                    f"{rel}:{node.lineno}: direct '{root}' import in "
+                    f"seam-managed module — go through repro.backend "
+                    f"(numpy_xp / ArrayBackend)"
+                )
+    return violations
+
+
+def _scipy_escapes() -> List[str]:
+    """Rule 3: scipy imports anywhere outside its one guarded home."""
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel == SCIPY_HOME:
+            continue
+        tree = ast.parse(path.read_text(), filename=rel)
+        exempt = _type_checking_lines(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if node.lineno in exempt:
+                continue
+            if "scipy" in _import_roots(node):
+                violations.append(
+                    f"{rel}:{node.lineno}: scipy import outside "
+                    f"{SCIPY_HOME} — scipy is optional and must stay "
+                    f"behind the backend's factorize()"
+                )
+    return violations
+
+
+def main() -> int:
+    violations: List[str] = []
+    for rel in SEAM_MODULES:
+        path = SRC / rel
+        if not path.exists():
+            violations.append(f"{rel}: seam module missing from tree")
+            continue
+        violations.extend(check_source(path.read_text(), rel))
+    violations.extend(_scipy_escapes())
+    if violations:
+        for line in violations:
+            print(line)
+        print(f"backend seam lint: {len(violations)} violation(s)")
+        return 1
+    print(
+        f"backend seam lint: ok "
+        f"({len(SEAM_MODULES)} seam modules, scipy confined to "
+        f"{SCIPY_HOME})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

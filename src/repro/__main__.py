@@ -62,6 +62,10 @@ def _cmd_run(args) -> int:
         from .experiments.common import ENV_STEPPING
 
         os.environ[ENV_STEPPING] = args.stepping
+    if args.backend is not None:
+        from .backend import ENV_BACKEND
+
+        os.environ[ENV_BACKEND] = args.backend
     if args.all:
         experiments = all_experiments()
     elif args.light:
@@ -129,6 +133,13 @@ def _cmd_sweep(args) -> int:
         from .experiments.common import ENV_STEPPING
 
         stepping = os.environ.get(ENV_STEPPING) or "fixed"
+    backend = args.backend
+    if backend is None:
+        import os
+
+        from .backend import ENV_BACKEND
+
+        backend = os.environ.get(ENV_BACKEND) or "numpy"
     results = run_sweep(
         topology,
         params,
@@ -142,6 +153,7 @@ def _cmd_sweep(args) -> int:
         telemetry=telemetry,
         profile=args.profile or profile_from_env(),
         stepping=stepping,
+        backend=backend,
     )
     if args.csv:
         save_csv(results, args.csv)
@@ -220,6 +232,18 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
             "closed-form thermal advance — all scheduling decisions "
             "stay bit-identical, temperature traces carry a bounded "
             "error (also: REPRO_STEPPING)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["numpy", "jax"],
+        default=None,
+        help=(
+            "array backend for the thermal/DVFS kernels: 'numpy' "
+            "(default, bit-identical to the historical engine) or "
+            "'jax' (optional dependency; epsilon-bounded results, "
+            "enables jit/vmap batched evaluation — see "
+            "docs/architecture.md) (also: REPRO_BACKEND)"
         ),
     )
 

@@ -1,0 +1,89 @@
+"""Backend registry and resolution for the array seam.
+
+Resolution order for :func:`get_backend`: an explicit argument wins,
+then the ``REPRO_BACKEND`` environment variable, then the numpy
+default.  Unknown names and unavailable optional backends raise
+:class:`~repro.errors.ConfigurationError` eagerly, at resolution time,
+so a bad ``--backend``/env value fails before any simulation work.
+
+``numpy_xp`` re-exports the ``numpy`` module itself as the sanctioned
+namespace handle for seam-managed kernels (they spell it
+``from ..backend import numpy_xp as np``), keeping the default path the
+literal numpy module while letting ``scripts/lint_backend_seam.py``
+forbid direct ``import numpy`` there.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as numpy_xp
+
+from ..errors import ConfigurationError
+from .base import BACKEND_NAMES, ArrayBackend, LinearSolver
+from .jax_backend import HAVE_JAX, JAX_MISSING_MSG, JaxBackend
+from .numpy_backend import HAVE_SCIPY, DenseSolver, NumpyBackend, NumpyLUSolver
+
+#: Environment variable consulted when no explicit backend is given.
+ENV_BACKEND = "REPRO_BACKEND"
+
+_DEFAULT = NumpyBackend()
+
+__all__ = [
+    "ArrayBackend",
+    "BACKEND_NAMES",
+    "DenseSolver",
+    "ENV_BACKEND",
+    "HAVE_JAX",
+    "HAVE_SCIPY",
+    "JaxBackend",
+    "LinearSolver",
+    "NumpyBackend",
+    "NumpyLUSolver",
+    "backend_available",
+    "default_backend",
+    "get_backend",
+    "numpy_xp",
+]
+
+
+def default_backend() -> NumpyBackend:
+    """The process-default in-place numpy backend (a shared instance)."""
+    return _DEFAULT
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` can actually be constructed in this process."""
+    if name == "numpy":
+        return True
+    if name == "jax":
+        return HAVE_JAX
+    return False
+
+
+def get_backend(spec: "str | ArrayBackend | None" = None) -> ArrayBackend:
+    """Resolve a backend from an explicit spec, the environment, or default.
+
+    Args:
+        spec: ``None`` (consult ``REPRO_BACKEND``, default numpy), a
+            registry name from :data:`BACKEND_NAMES`, or an already
+            constructed :class:`ArrayBackend` (returned as-is).
+
+    Raises:
+        ConfigurationError: for unknown names or for ``"jax"`` when jax
+            is not installed.
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(ENV_BACKEND) or "numpy"
+    name = str(spec).strip().lower()
+    if name == "numpy":
+        return _DEFAULT
+    if name == "jax":
+        if not HAVE_JAX:
+            raise ConfigurationError(JAX_MISSING_MSG)
+        return JaxBackend()
+    raise ConfigurationError(
+        f"unknown backend {spec!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )

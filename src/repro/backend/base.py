@@ -1,0 +1,155 @@
+"""The array-backend seam: one protocol, many numerics substrates.
+
+The engine's hot kernels (placement scoring, the two-node thermal
+update, steady-state and RC solves, batched DVFS selection) are written
+against an :class:`ArrayBackend` instead of a hard-wired ``import
+numpy``.  A backend bundles
+
+- ``xp`` — the array namespace (``numpy`` or ``jax.numpy``) providing
+  the elementwise/ufunc surface the kernels use,
+- linear algebra (``solve`` and a factor-once/solve-often
+  :class:`LinearSolver` via :meth:`ArrayBackend.factorize`),
+- functional-update helpers (:meth:`ArrayBackend.at_set` /
+  :meth:`ArrayBackend.at_add`) that hide the ``arr[idx] = v`` vs
+  ``arr.at[idx].set(v)`` split,
+- transform shims (:meth:`ArrayBackend.jit` / :meth:`ArrayBackend.vmap`)
+  that are real compilers under JAX and cheap no-ops/loops under numpy.
+
+Two execution styles coexist behind the seam:
+
+- the **in-place** style (``backend.inplace`` true) is the historical
+  numpy hot path — ``out=`` kwargs, augmented assignment into
+  persistent scratch buffers — kept byte-for-byte so the default
+  backend reproduces every pre-seam trajectory bit for bit;
+- the **pure** style allocates fresh arrays through ``xp`` and is the
+  shape JAX can trace, jit and vmap.  Pure twins are written to perform
+  the identical floating-point operations in the identical per-element
+  order, so under ``NumpyBackend(inplace=False)`` they are *also*
+  bit-identical — which is how the JAX-shaped code paths are pinned on
+  machines without JAX installed.
+
+Backends are stateless value objects; resolving one never mutates
+global state.  See :mod:`repro.backend` for the registry and the
+``REPRO_BACKEND`` environment contract.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable
+
+#: The canonical spelling of every selectable backend.
+BACKEND_NAMES = ("numpy", "jax")
+
+
+class LinearSolver(abc.ABC):
+    """A dense linear system factorized once, solved against many RHS.
+
+    Returned by :meth:`ArrayBackend.factorize`; the factorization
+    strategy (LAPACK LU, fallback dense solve, jitted JAX LU) is the
+    backend's business — callers only ever call :meth:`solve`.
+    """
+
+    @abc.abstractmethod
+    def solve(self, rhs: Any) -> Any:
+        """Solve ``A @ x = rhs`` for ``x``.
+
+        Raises:
+            repro.errors.ThermalModelError: if the system is singular
+                (backends that factorize lazily raise here instead of
+                at construction).
+        """
+
+
+class ArrayBackend(abc.ABC):
+    """Pluggable numerics substrate for the seam-managed kernels.
+
+    Attributes:
+        name: Registry name (``"numpy"`` or ``"jax"``).
+        xp: The array namespace module (``numpy`` / ``jax.numpy``).
+        inplace: Whether kernels may use ``out=`` kwargs and mutate
+            arrays in place.  True only for the default numpy backend;
+            pure-style twins run when this is False.
+    """
+
+    name: str
+    xp: Any
+    inplace: bool
+
+    # -- array construction / conversion ---------------------------------
+
+    @abc.abstractmethod
+    def asarray(self, value: Any, dtype: Any = None) -> Any:
+        """Coerce ``value`` to this backend's array type."""
+
+    @abc.abstractmethod
+    def to_numpy(self, value: Any) -> Any:
+        """Materialise a backend array as a host ``numpy.ndarray``."""
+
+    # -- functional updates ----------------------------------------------
+
+    @abc.abstractmethod
+    def at_set(self, array: Any, index: Any, values: Any) -> Any:
+        """Return ``array`` with ``array[index] = values`` applied.
+
+        In-place backends mutate and return ``array``; functional
+        backends return a new array.  Callers must use the return value
+        either way.
+        """
+
+    @abc.abstractmethod
+    def at_add(self, array: Any, index: Any, values: Any) -> Any:
+        """Return ``array`` with ``array[index] += values`` applied.
+
+        Same ownership contract as :meth:`at_set`.
+        """
+
+    # -- linear algebra ---------------------------------------------------
+
+    @abc.abstractmethod
+    def solve(self, matrix: Any, rhs: Any) -> Any:
+        """Dense solve of ``matrix @ x = rhs``."""
+
+    @abc.abstractmethod
+    def factorize(self, matrix: Any, use_lapack: bool = True) -> LinearSolver:
+        """Factorize a dense matrix for repeated solves.
+
+        Args:
+            matrix: The square system matrix.
+            use_lapack: Permit the amortized LAPACK LU path when the
+                host has one (scipy).  ``False`` forces the plain dense
+                solve fallback — the knob the scipy-less compatibility
+                tests flip.
+        """
+
+    # -- transforms -------------------------------------------------------
+
+    @abc.abstractmethod
+    def jit(self, fn: Callable, **kwargs) -> Callable:
+        """Compile ``fn`` when the backend can; otherwise return it."""
+
+    @abc.abstractmethod
+    def vmap(self, fn: Callable, **kwargs) -> Callable:
+        """Vectorise ``fn`` over leading axes.
+
+        JAX maps this to :func:`jax.vmap`.  The numpy shim evaluates
+        ``fn`` per leading-axis slice in a Python loop and stacks the
+        results — semantically equivalent, useful for exercising
+        vmapped code shapes without JAX.
+        """
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def cache_token(self) -> str:
+        """A stable token identifying this backend's numeric identity.
+
+        Two backends with equal tokens produce bit-identical
+        factorizations and kernel results, so caches of derived
+        numerical objects (e.g. the detailed chip model's LU cache) key
+        on this token to never serve a foreign backend's artifact.
+        """
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r} inplace={self.inplace}>"

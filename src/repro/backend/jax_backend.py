@@ -1,0 +1,116 @@
+"""Optional JAX backend (import-guarded; never required).
+
+Everything in this module degrades gracefully when JAX is not
+installed: importing it is always safe, :data:`HAVE_JAX` reports
+availability, and constructing :class:`JaxBackend` without JAX raises
+:class:`~repro.errors.ConfigurationError` with an installation hint.
+
+The backend enables 64-bit mode (``jax_enable_x64``) at construction —
+the engine's thermal trajectories are float64 contracts and the
+differential oracle's epsilon bounds assume double precision.  Kernels
+run eagerly by default; the batched fleet-tensor evaluator
+(:mod:`repro.sim.batched`) is where :meth:`JaxBackend.jit` and
+:meth:`JaxBackend.vmap` become real compilers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import ConfigurationError, ThermalModelError
+from .base import ArrayBackend, LinearSolver
+
+try:  # pragma: no cover - exercised only where jax is installed
+    import jax
+
+    HAVE_JAX = True
+except ImportError:  # pragma: no cover - the common container case
+    jax = None
+    HAVE_JAX = False
+
+#: Message raised when the jax backend is requested but absent.
+JAX_MISSING_MSG = (
+    "backend 'jax' requested but jax is not installed; install "
+    "jax (e.g. pip install 'jax[cpu]') or use the default numpy "
+    "backend"
+)
+
+
+class JaxLUSolver(LinearSolver):  # pragma: no cover - needs jax
+    """``jax.scipy.linalg`` LU, factorized eagerly on device."""
+
+    __slots__ = ("matrix", "_lu_piv")
+
+    def __init__(self, matrix: Any) -> None:
+        from jax.scipy.linalg import lu_factor
+
+        self.matrix = matrix
+        lu, piv = lu_factor(matrix)
+        import jax.numpy as jnp
+
+        if bool(jnp.any(jnp.diagonal(lu) == 0.0)):
+            raise ThermalModelError(
+                "singular linear system: zero pivot in LU factorization"
+            )
+        self._lu_piv = (lu, piv)
+
+    def solve(self, rhs: Any) -> Any:
+        from jax.scipy.linalg import lu_solve
+
+        return lu_solve(self._lu_piv, rhs)
+
+
+class JaxBackend(ArrayBackend):  # pragma: no cover - needs jax
+    """JIT-compiling, vmappable numerics on jax.numpy.
+
+    Raises:
+        ConfigurationError: at construction when JAX is not installed.
+    """
+
+    name = "jax"
+
+    def __init__(self) -> None:
+        if not HAVE_JAX:
+            raise ConfigurationError(JAX_MISSING_MSG)
+        # Double precision: the thermal model's epsilon bounds and the
+        # differential oracle assume float64 trajectories.
+        jax.config.update("jax_enable_x64", True)
+        import jax.numpy as jnp
+
+        self.xp = jnp
+        self.inplace = False
+
+    # -- array construction / conversion ---------------------------------
+
+    def asarray(self, value: Any, dtype: Any = None) -> Any:
+        return self.xp.asarray(value, dtype=dtype)
+
+    def to_numpy(self, value: Any) -> Any:
+        import numpy as np
+
+        return np.asarray(value)
+
+    # -- functional updates ----------------------------------------------
+
+    def at_set(self, array: Any, index: Any, values: Any) -> Any:
+        return array.at[index].set(values)
+
+    def at_add(self, array: Any, index: Any, values: Any) -> Any:
+        return array.at[index].add(values)
+
+    # -- linear algebra ---------------------------------------------------
+
+    def solve(self, matrix: Any, rhs: Any) -> Any:
+        return self.xp.linalg.solve(matrix, rhs)
+
+    def factorize(self, matrix: Any, use_lapack: bool = True) -> LinearSolver:
+        del use_lapack  # jax always factorizes through its own LU
+        return JaxLUSolver(self.asarray(matrix, dtype=self.xp.float64))
+
+    # -- transforms -------------------------------------------------------
+
+    def jit(self, fn: Callable, **kwargs) -> Callable:
+        return jax.jit(fn, **kwargs)
+
+    def vmap(self, fn: Callable, **kwargs) -> Callable:
+        return jax.vmap(fn, **kwargs)

@@ -1,0 +1,165 @@
+"""The default numpy backend (optionally scipy-accelerated).
+
+This module is the one place in the seam-managed numerics that is
+allowed to ``import numpy`` and ``scipy.linalg`` directly (enforced by
+``scripts/lint_backend_seam.py``).  Every seam module obtains its
+default namespace through :data:`repro.backend.numpy_xp`, which is this
+module's ``numpy`` — so the default execution path performs literally
+the same operations it always has.
+
+Two flavours share the class:
+
+- ``NumpyBackend()`` (``inplace=True``) — the production default; hot
+  kernels keep their historical ``out=``/scratch-buffer code.
+- ``NumpyBackend(inplace=False)`` — the *pure-twin* flavour; kernels
+  take their functional (JAX-shaped) branches while still executing
+  numpy ops, which lets the test suite pin the pure branches
+  bit-identical to the default without JAX installed.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import ThermalModelError
+from .base import ArrayBackend, LinearSolver
+
+try:  # pragma: no cover - exercised implicitly on scipy installs
+    from scipy.linalg import lu_factor, lu_solve
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - scipy-less fallback
+    lu_factor = lu_solve = None
+    HAVE_SCIPY = False
+
+#: Shared zero-pivot message (the historical FactorizedSystem wording).
+_SINGULAR_MSG = "singular linear system: zero pivot in LU factorization"
+
+
+class NumpyLUSolver(LinearSolver):
+    """LAPACK ``getrf``/``getrs`` LU via scipy, factorized eagerly.
+
+    Exact singularity (a zero pivot) raises
+    :class:`~repro.errors.ThermalModelError` at construction; scipy
+    alone merely warns and would hand back ``inf``/``nan`` solutions.
+    """
+
+    __slots__ = ("matrix", "_lu_piv")
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.matrix = matrix
+        with warnings.catch_warnings():
+            # scipy warns (LinAlgWarning) instead of raising on an
+            # exactly singular factorization; we raise below.
+            warnings.simplefilter("ignore")
+            lu, piv = lu_factor(matrix, check_finite=False)
+        if np.any(np.diagonal(lu) == 0.0):
+            raise ThermalModelError(_SINGULAR_MSG)
+        self._lu_piv = (lu, piv)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return lu_solve(self._lu_piv, rhs, check_finite=False)
+
+
+class DenseSolver(LinearSolver):
+    """Plain ``np.linalg.solve`` against a retained matrix.
+
+    Correct but unamortized; used when scipy is absent (or disabled)
+    and for empty systems.  Singularity surfaces at the first solve.
+    """
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.matrix = matrix
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        try:
+            return np.linalg.solve(self.matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ThermalModelError(_SINGULAR_MSG) from exc
+
+
+class NumpyBackend(ArrayBackend):
+    """Eager numpy execution; the process default.
+
+    Args:
+        inplace: When True (default) kernels run their historical
+            ``out=``/scratch hot paths.  When False they take the pure
+            functional branches — the JAX-shaped code — still under
+            numpy, with bit-identical results.
+    """
+
+    name = "numpy"
+    xp = np
+
+    def __init__(self, inplace: bool = True) -> None:
+        self.inplace = bool(inplace)
+
+    # -- array construction / conversion ---------------------------------
+
+    def asarray(self, value: Any, dtype: Any = None) -> np.ndarray:
+        return np.asarray(value, dtype=dtype)
+
+    def to_numpy(self, value: Any) -> np.ndarray:
+        return np.asarray(value)
+
+    # -- functional updates ----------------------------------------------
+
+    def at_set(self, array: np.ndarray, index: Any, values: Any) -> np.ndarray:
+        if self.inplace:
+            array[index] = values
+            return array
+        out = array.copy()
+        out[index] = values
+        return out
+
+    def at_add(self, array: np.ndarray, index: Any, values: Any) -> np.ndarray:
+        if self.inplace:
+            array[index] += values
+            return array
+        out = array.copy()
+        out[index] += values
+        return out
+
+    # -- linear algebra ---------------------------------------------------
+
+    def solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        return DenseSolver(matrix).solve(rhs)
+
+    def factorize(
+        self, matrix: np.ndarray, use_lapack: bool = True
+    ) -> LinearSolver:
+        if use_lapack and HAVE_SCIPY and matrix.size:
+            return NumpyLUSolver(matrix)
+        return DenseSolver(matrix)
+
+    # -- transforms -------------------------------------------------------
+
+    def jit(self, fn: Callable, **kwargs) -> Callable:
+        return fn
+
+    def vmap(self, fn: Callable, **kwargs) -> Callable:
+        """Leading-axis loop-and-stack shim for vmapped code shapes."""
+
+        def mapped(*args):
+            length = len(args[0])
+            outs = [fn(*(arg[i] for arg in args)) for i in range(length)]
+            if outs and isinstance(outs[0], tuple):
+                return tuple(
+                    np.stack([out[j] for out in outs])
+                    for j in range(len(outs[0]))
+                )
+            return np.stack(outs)
+
+        return mapped
+
+    @property
+    def cache_token(self) -> str:
+        # inplace and pure flavours run identical float ops, so they
+        # legitimately share factorization caches; scipy vs fallback
+        # LU differ in provider but not bits, covered by one token.
+        return "numpy"

@@ -18,10 +18,10 @@ take 1 ms power-manager steps or coarser steps without error growth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import NamedTuple, Optional
 
-import numpy as np
-
+from ..backend import ArrayBackend, get_backend
+from ..backend import numpy_xp as np
 from ..errors import ThermalModelError
 
 #: On-chip thermal time constant (Table III), seconds.
@@ -62,6 +62,78 @@ class WindowModes(NamedTuple):
     chip_amp: np.ndarray
     cross_amp: np.ndarray
     resonant: bool
+
+
+def advance_window_modes(
+    sink_c,
+    chip_c,
+    sink_decay: float,
+    chip_decay: float,
+    n_steps: int,
+    ambient_c,
+    power_w,
+    r_int,
+    r_ext,
+    theta,
+):
+    """Pure closed-form window advance over any array namespace.
+
+    The functional core of :meth:`TwoNodeThermalState.advance_window`:
+    elementwise operator math only, so it runs unchanged on plain numpy
+    arrays, on stacked ``(N, n)`` fleet tensors (leading batch axis),
+    and on traced JAX arrays — scalars ``sink_decay``/``chip_decay``/
+    ``n_steps`` must stay Python numbers (static under jit).
+
+    Returns:
+        ``(sink_after, chip_after, modes)`` — the node arrays after
+        ``n_steps`` decayed steps plus the :class:`WindowModes`
+        decomposition evaluated at window entry.  ``n_steps == 0``
+        returns the input arrays unchanged.
+
+    Raises:
+        ThermalModelError: if ``n_steps`` is negative or either decay
+            factor is outside ``(0, 1)``.
+    """
+    n_steps = int(n_steps)
+    if n_steps < 0:
+        raise ThermalModelError(
+            f"n_steps must be non-negative, got {n_steps}"
+        )
+    for name, decay in (("sink", sink_decay), ("chip", chip_decay)):
+        if not 0.0 < decay < 1.0:
+            raise ThermalModelError(
+                f"{name}_decay must lie in (0, 1), got {decay}"
+            )
+    sink_const = ambient_c + power_w * r_ext
+    sink_amp = sink_c - sink_const
+    chip_const = sink_const + power_w * r_int + theta
+    resonant = abs(sink_decay - chip_decay) <= 1e-12 * max(
+        sink_decay, chip_decay
+    )
+    if resonant:
+        cross_amp = sink_amp * (1.0 - sink_decay)
+        chip_amp = chip_c - chip_const
+    else:
+        cross_amp = (
+            sink_amp
+            * ((1.0 - chip_decay) * sink_decay / (sink_decay - chip_decay))
+        )
+        chip_amp = chip_c - chip_const - cross_amp
+    modes = WindowModes(
+        sink_const, sink_amp, chip_const, chip_amp, cross_amp, resonant
+    )
+    if n_steps == 0:
+        return sink_c, chip_c, modes
+    rs_k = sink_decay**n_steps
+    rc_k = chip_decay**n_steps
+    if resonant:
+        chip_after = (
+            chip_const + chip_amp * rc_k + cross_amp * (n_steps * rs_k)
+        )
+    else:
+        chip_after = chip_const + chip_amp * rc_k + cross_amp * rs_k
+    sink_after = sink_const + sink_amp * rs_k
+    return sink_after, chip_after, modes
 
 
 def ema_window_sum(decay: float, ema_beta: float, n_steps: int) -> float:
@@ -188,6 +260,7 @@ class TwoNodeThermalState:
         r_ext: np.ndarray,
         theta: np.ndarray,
         scratch: "np.ndarray | None" = None,
+        backend: Optional[ArrayBackend] = None,
     ) -> None:
         """Advance both nodes using precomputed decay factors.
 
@@ -209,8 +282,20 @@ class TwoNodeThermalState:
             r_ext: Per-socket external (sink) resistance, degC/W.
             theta: Per-socket Equation 1 correction, degC.
             scratch: Optional per-socket work buffer reused by the
-                engine hot path (its contents are overwritten).
+                engine hot path (its contents are overwritten; ignored
+                by non-inplace backends).
+            backend: Array backend; non-inplace backends take the pure
+                functional twin, which performs the same float ops in
+                the same per-element order (bit-identical under numpy).
         """
+        backend = get_backend(backend)
+        if not backend.inplace:
+            target = power_w * r_ext + ambient_c
+            sink = (self.sink_c - target) * sink_decay + target
+            target = power_w * r_int + sink + theta
+            self.chip_c = (self.chip_c - target) * chip_decay + target
+            self.sink_c = sink
+            return
         # Sink node: target = ambient + power * r_ext, then
         # T <- target + (T - target) * decay, evaluated in place.
         target = np.multiply(power_w, r_ext, out=scratch)
@@ -276,54 +361,26 @@ class TwoNodeThermalState:
             ThermalModelError: if ``n_steps`` is negative or either decay
                 factor is outside ``(0, 1)``.
         """
-        n_steps = int(n_steps)
-        if n_steps < 0:
-            raise ThermalModelError(
-                f"n_steps must be non-negative, got {n_steps}"
-            )
-        for name, decay in (("sink", sink_decay), ("chip", chip_decay)):
-            if not 0.0 < decay < 1.0:
-                raise ThermalModelError(
-                    f"{name}_decay must lie in (0, 1), got {decay}"
-                )
-        sink_const = ambient_c + power_w * r_ext
-        sink_amp = self.sink_c - sink_const
-        chip_const = sink_const + power_w * r_int + theta
-        resonant = abs(sink_decay - chip_decay) <= 1e-12 * max(
-            sink_decay, chip_decay
+        self.sink_c, self.chip_c, modes = advance_window_modes(
+            self.sink_c,
+            self.chip_c,
+            sink_decay,
+            chip_decay,
+            n_steps,
+            ambient_c,
+            power_w,
+            r_int,
+            r_ext,
+            theta,
         )
-        if resonant:
-            cross_amp = sink_amp * (1.0 - sink_decay)
-            chip_amp = self.chip_c - chip_const
-        else:
-            cross_amp = (
-                sink_amp
-                * ((1.0 - chip_decay) * sink_decay / (sink_decay - chip_decay))
-            )
-            chip_amp = self.chip_c - chip_const - cross_amp
-        if n_steps == 0:
-            return WindowModes(
-                sink_const, sink_amp, chip_const, chip_amp, cross_amp,
-                resonant,
-            )
-        rs_k = sink_decay**n_steps
-        rc_k = chip_decay**n_steps
-        if resonant:
-            self.chip_c = (
-                chip_const + chip_amp * rc_k + cross_amp * (n_steps * rs_k)
-            )
-        else:
-            self.chip_c = chip_const + chip_amp * rc_k + cross_amp * rs_k
-        self.sink_c = sink_const + sink_amp * rs_k
-        return WindowModes(
-            sink_const, sink_amp, chip_const, chip_amp, cross_amp, resonant
-        )
+        return modes
 
     def sink_heat_output_w(
         self,
         ambient_c: np.ndarray,
         r_ext: np.ndarray,
         out: "np.ndarray | None" = None,
+        backend: Optional[ArrayBackend] = None,
     ) -> np.ndarray:
         """Heat currently flowing from each sink into the air stream, W.
 
@@ -334,8 +391,15 @@ class TwoNodeThermalState:
         Args:
             ambient_c: Per-socket entry air temperature, degC.
             r_ext: Per-socket external (sink) resistance, degC/W.
-            out: Optional output buffer reused by the engine hot path.
+            out: Optional output buffer reused by the engine hot path
+                (ignored by non-inplace backends).
+            backend: Array backend; non-inplace backends take the pure
+                functional twin (same ops, same order).
         """
+        backend = get_backend(backend)
+        if not backend.inplace:
+            xp = backend.xp
+            return xp.maximum((self.sink_c - ambient_c) / r_ext, 0.0)
         heat = np.subtract(self.sink_c, ambient_c, out=out)
         heat /= r_ext
         return np.maximum(heat, 0.0, out=heat)

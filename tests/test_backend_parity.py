@@ -1,0 +1,276 @@
+"""Backend-parity oracle for the array-backend seam.
+
+The seam (``repro.backend``) lets the hot kernels run under an
+injected :class:`~repro.backend.ArrayBackend`.  Its cardinal contract:
+
+- the default numpy backend is **bit-identical** to the pre-seam
+  engine (the seam is pure dispatch, adding zero float operations);
+- ``NumpyBackend(inplace=False)`` drives the *pure functional twins*
+  — the exact code shape JAX traces — and those twins perform the
+  same float ops in the same per-element order, so they are **also
+  bit-identical**.  This pins the JAX-shaped branches without JAX
+  installed;
+- an actual JAX backend is epsilon-bounded (fuzz below, skipped
+  cleanly when jax is absent).
+
+The run-level check reuses the 19-configuration kernel-identity
+oracle: every policy configuration x benchmark set x load combination
+must produce the same result fingerprint under the default backend
+and under the forced pure-twin backend.
+"""
+
+import numpy as np
+import pytest
+from test_kernel_identity import _make_policy, _oracle_configs
+
+from repro.backend import (
+    ENV_BACKEND,
+    HAVE_JAX,
+    NumpyBackend,
+    backend_available,
+    default_backend,
+    get_backend,
+)
+from repro.config.presets import smoke
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulation
+from repro.sim.fingerprint import result_fingerprint
+from repro.sim.runner import run_once
+from repro.thermal.detailed_model import DetailedChipModel
+from repro.workloads.benchmark import BenchmarkSet
+
+
+def _run(small_sut, policy, kwargs, benchmark_set, load, backend):
+    return run_once(
+        small_sut,
+        smoke(seed=4),
+        _make_policy(policy, kwargs, use_kernel=True),
+        benchmark_set,
+        load,
+        backend=backend,
+    )
+
+
+@pytest.mark.parametrize(
+    "policy,kwargs,benchmark_set,load",
+    _oracle_configs(),
+    ids=lambda value: getattr(
+        value, "value", str(value).replace(" ", "")
+    ),
+)
+def test_pure_twin_backend_is_bit_identical(
+    small_sut, policy, kwargs, benchmark_set, load
+):
+    """All 19 oracle configs: pure twins == historical in-place path."""
+    default = _run(
+        small_sut, policy, kwargs, benchmark_set, load, backend=None
+    )
+    pure = _run(
+        small_sut,
+        policy,
+        kwargs,
+        benchmark_set,
+        load,
+        backend=NumpyBackend(inplace=False),
+    )
+    assert result_fingerprint(default) == result_fingerprint(pure)
+
+
+def test_env_backend_forced_numpy_is_identical(small_sut, monkeypatch):
+    """REPRO_BACKEND=numpy resolves to the default backend bit-for-bit."""
+    policy, kwargs, benchmark_set, load = _oracle_configs()[0]
+    baseline = _run(
+        small_sut, policy, kwargs, benchmark_set, load, backend=None
+    )
+    monkeypatch.setenv(ENV_BACKEND, "numpy")
+    forced = _run(
+        small_sut, policy, kwargs, benchmark_set, load, backend=None
+    )
+    assert result_fingerprint(baseline) == result_fingerprint(forced)
+
+
+def test_simulation_rejects_unknown_backend(small_sut):
+    with pytest.raises(ConfigurationError):
+        Simulation(
+            small_sut,
+            smoke(seed=0),
+            _make_policy("CP", {}, use_kernel=True),
+            backend="torch",
+        )
+
+
+def test_env_backend_unknown_name_raises(monkeypatch):
+    monkeypatch.setenv(ENV_BACKEND, "accelerator9000")
+    with pytest.raises(ConfigurationError):
+        get_backend(None)
+
+
+def test_backend_availability_flags():
+    assert backend_available("numpy")
+    assert backend_available("jax") == HAVE_JAX
+    assert not backend_available("torch")
+    assert default_backend().name == "numpy"
+    assert default_backend().inplace
+
+
+@pytest.mark.skipif(HAVE_JAX, reason="jax installed: construction works")
+def test_jax_backend_missing_dependency_message():
+    from repro.backend import JaxBackend
+
+    with pytest.raises(ConfigurationError, match="jax is not installed"):
+        JaxBackend()
+    with pytest.raises(ConfigurationError, match="jax is not installed"):
+        get_backend("jax")
+
+
+class _RelabeledBackend(NumpyBackend):
+    """A numpy-semantics backend with a distinct cache identity."""
+
+    def __init__(self):
+        super().__init__(inplace=False)
+
+    @property
+    def cache_token(self) -> str:
+        return "numpy-relabeled"
+
+
+def test_detailed_model_factor_cache_keys_on_backend():
+    """Same g_conv under two backends -> two cache entries, same bits.
+
+    The LRU factor cache used to key on ``g_conv`` alone; a cached
+    numpy factorization would then satisfy a JAX request (returning
+    host arrays mid-trace).  The key now includes
+    ``backend.cache_token``.
+    """
+    from repro.thermal.heatsink import FIN_18
+
+    model = DetailedChipModel(FIN_18)
+    power = {"core0": 6.0, "gpu": 4.0}
+    base = model.solve(30.0, power)
+    assert len(model._factor_cache) == 1
+    again = model.solve(30.0, power, backend=_RelabeledBackend())
+    assert len(model._factor_cache) == 2
+    tokens = {token for token, _ in model._factor_cache}
+    assert tokens == {"numpy", "numpy-relabeled"}
+    assert base.max_temperature_c == again.max_temperature_c
+    # Same backend identity + same g_conv hits the cache, no new entry.
+    model.solve(30.0, power, backend=_RelabeledBackend())
+    assert len(model._factor_cache) == 2
+
+
+# ---------------------------------------------------------------------------
+# Seeded epsilon-bounded numpy-vs-JAX differential fuzz.  Collected and
+# skipped (not errored) on machines without the optional dependency.
+# ---------------------------------------------------------------------------
+
+EPS = 5e-9
+
+
+@pytest.mark.skipif(not HAVE_JAX, reason="jax not installed")
+def test_jax_kernels_match_numpy_within_eps():
+    from repro.backend import JaxBackend
+    from repro.sim.power_manager import select_frequencies_steady
+    from repro.thermal.dynamics import TwoNodeThermalState
+
+    jax_backend = JaxBackend()
+    rng = np.random.default_rng(1234)
+    from repro.server.topology import moonshot_sut
+
+    topology = moonshot_sut(n_rows=2)
+    params = smoke(seed=0)
+    n = topology.n_sockets
+    ladder = topology.processor.ladder
+    for _ in range(10):
+        ambient = 18.0 + 12.0 * rng.random(n)
+        chip = 40.0 + 50.0 * rng.random(n)
+        dyn_max = 20.0 * rng.random(n)
+        dyn_exp = np.full(n, 2.0)
+        common = dict(
+            dyn_max_w=dyn_max,
+            dyn_exp=dyn_exp,
+            tdp_w=topology.tdp_array,
+            r_ext=topology.r_ext_array,
+            theta_offset=topology.theta_offset_array,
+            theta_slope=topology.theta_slope_array,
+            ladder=ladder,
+            params=params,
+        )
+        ref = select_frequencies_steady(
+            ambient_c=ambient, chip_c=chip, **common
+        )
+        jax_freq = select_frequencies_steady(
+            ambient_c=jax_backend.asarray(ambient),
+            chip_c=jax_backend.asarray(chip),
+            backend=jax_backend,
+            **common,
+        )
+        # Frequencies are ladder states; an epsilon-crossing near an
+        # admission threshold can flip one state, so compare the
+        # underlying floats through the thermal step instead.
+        assert (
+            np.asarray(jax_freq) == np.asarray(ref)
+        ).mean() > 0.95
+
+        state_np = TwoNodeThermalState(
+            sink_c=ambient.copy(), chip_c=chip.copy()
+        )
+        state_jax = TwoNodeThermalState(
+            sink_c=ambient.copy(), chip_c=chip.copy()
+        )
+        power = 5.0 + 15.0 * rng.random(n)
+        theta = (
+            topology.theta_offset_array
+            + topology.theta_slope_array * power
+        )
+        args = (0.99, 0.5, ambient, power, params.r_int,
+                topology.r_ext_array, theta)
+        state_np.step_decayed(*args)
+        state_jax.sink_c = jax_backend.asarray(state_jax.sink_c)
+        state_jax.chip_c = jax_backend.asarray(state_jax.chip_c)
+        state_jax.step_decayed(*args, backend=jax_backend)
+        np.testing.assert_allclose(
+            np.asarray(state_jax.sink_c), state_np.sink_c,
+            rtol=EPS, atol=EPS,
+        )
+        np.testing.assert_allclose(
+            np.asarray(state_jax.chip_c), state_np.chip_c,
+            rtol=EPS, atol=EPS,
+        )
+
+
+@pytest.mark.skipif(not HAVE_JAX, reason="jax not installed")
+def test_jax_fleet_sweep_matches_serial_within_eps(small_sut):
+    from repro.sim.batched import (
+        FleetPoint,
+        evaluate_fleet,
+        evaluate_fleet_serial,
+    )
+
+    params = smoke(seed=0)
+    points = [
+        FleetPoint(u, p, 2.0)
+        for u, p in ((0.1, 8.0), (0.5, 15.0), (0.9, 20.0))
+    ]
+    serial = evaluate_fleet_serial(
+        small_sut, params, points, window_steps=512
+    )
+    jaxed = evaluate_fleet(
+        small_sut, params, points, window_steps=512, backend="jax"
+    )
+    for field in (
+        "power_w", "ambient_c", "sink_c", "chip_c",
+        "window_sink_c", "window_chip_c",
+    ):
+        np.testing.assert_allclose(
+            getattr(jaxed, field),
+            getattr(serial, field),
+            rtol=EPS,
+            atol=EPS,
+        )
+
+
+def test_benchmark_set_enum_unchanged():
+    """The seam must not leak into workload identity (config hashing)."""
+    assert [s.value for s in BenchmarkSet] == [
+        "Computation", "Storage", "GP"
+    ]

@@ -1,0 +1,83 @@
+"""The backend seam lint: rules, allowlist, and a clean tree.
+
+``scripts/lint_backend_seam.py`` keeps direct ``numpy``/``scipy``
+imports out of the seam-managed modules (they must go through
+``repro.backend``).  These tests pin the rule set against crafted
+sources and assert the real tree is clean — the same check CI runs.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "lint_backend_seam.py"
+
+sys.path.insert(0, str(REPO / "scripts"))
+
+import lint_backend_seam as lint  # noqa: E402
+
+
+def test_tree_is_clean():
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "ok" in proc.stdout
+
+
+def test_direct_numpy_import_flagged():
+    violations = lint.check_source(
+        "import numpy as np\n", "core/kernels.py"
+    )
+    assert len(violations) == 1
+    assert "direct 'numpy' import" in violations[0]
+
+
+def test_from_numpy_import_flagged():
+    violations = lint.check_source(
+        "from numpy import linalg\n", "thermal/dynamics.py"
+    )
+    assert len(violations) == 1
+
+
+def test_scipy_import_flagged_even_in_numpy_allowlist():
+    violations = lint.check_source(
+        "from scipy.linalg import lu_factor\n",
+        "workloads/power_model.py",
+    )
+    assert len(violations) == 1
+    assert "scipy" in violations[0]
+
+
+def test_seam_handle_is_permitted():
+    clean = "from ..backend import numpy_xp as np\n"
+    assert lint.check_source(clean, "core/kernels.py") == []
+
+
+def test_allowlisted_scalar_reference_path():
+    source = "import numpy as np\n"
+    assert lint.check_source(source, "workloads/power_model.py") == []
+    assert lint.check_source(source, "sim/power_manager.py") != []
+
+
+def test_type_checking_imports_exempt():
+    source = (
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    import numpy as np\n"
+    )
+    assert lint.check_source(source, "core/kernels.py") == []
+
+
+def test_seam_module_list_matches_tree():
+    """Every listed seam module exists and uses the seam handle."""
+    for rel in lint.SEAM_MODULES:
+        path = REPO / "src" / "repro" / rel
+        assert path.exists(), rel
+        if rel in lint.ALLOW_NUMPY:
+            continue
+        text = path.read_text()
+        assert "from ..backend import numpy_xp as np" in text, rel

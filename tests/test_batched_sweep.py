@@ -1,0 +1,165 @@
+"""Batched fleet-tensor sweep evaluator vs the per-point serial path.
+
+``repro.sim.batched`` stacks N decision-free sweep points over one
+topology into ``(N, n)`` fleet tensors.  Under the numpy backend the
+stacked evaluation must match the per-point serial kernels **bit for
+bit** — including the mixed 8-point sweep with per-point inlet
+overrides that the PR's acceptance criteria name.  The vmapped code
+path (the JAX shape) is driven here through the numpy backend's
+loop-and-stack ``vmap`` shim, so its structure is pinned without the
+optional dependency installed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import NumpyBackend
+from repro.config.presets import smoke
+from repro.errors import SimulationError
+from repro.sim.batched import (
+    FleetPoint,
+    FleetSweepResult,
+    _steady_fleet_vmapped,
+    evaluate_fleet,
+    evaluate_fleet_serial,
+)
+
+FIELDS = (
+    "power_w",
+    "ambient_c",
+    "sink_c",
+    "chip_c",
+    "freq_mhz",
+    "window_sink_c",
+    "window_chip_c",
+)
+
+#: The acceptance sweep: 8 mixed points — utilisation extremes, power
+#: extremes, workload exponents, and per-point inlet overrides.
+MIXED_POINTS = (
+    FleetPoint(0.1, 8.0, 2.0),
+    FleetPoint(0.3, 12.0, 1.8),
+    FleetPoint(0.5, 15.0, 2.2, inlet_c=22.0),
+    FleetPoint(0.7, 18.0, 2.0),
+    FleetPoint(0.9, 20.0, 1.9),
+    FleetPoint(1.0, 21.0, 2.1, inlet_c=30.0),
+    FleetPoint(0.0, 10.0, 2.0),
+    FleetPoint(0.65, 16.5, 2.0, inlet_c=18.0),
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return smoke(seed=0)
+
+
+def _assert_bit_identical(a: FleetSweepResult, b: FleetSweepResult):
+    for field in FIELDS:
+        left, right = getattr(a, field), getattr(b, field)
+        assert left.shape == right.shape
+        np.testing.assert_array_equal(left, right, err_msg=field)
+
+
+def test_mixed_eight_point_sweep_is_bit_identical(small_sut, params):
+    serial = evaluate_fleet_serial(
+        small_sut, params, MIXED_POINTS, window_steps=2048
+    )
+    batched = evaluate_fleet(
+        small_sut, params, MIXED_POINTS, window_steps=2048
+    )
+    assert serial.n_points == batched.n_points == 8
+    _assert_bit_identical(serial, batched)
+
+
+def test_pure_twin_backend_is_bit_identical_too(small_sut, params):
+    serial = evaluate_fleet_serial(
+        small_sut, params, MIXED_POINTS, window_steps=256
+    )
+    batched = evaluate_fleet(
+        small_sut,
+        params,
+        MIXED_POINTS,
+        window_steps=256,
+        backend=NumpyBackend(inplace=False),
+    )
+    _assert_bit_identical(serial, batched)
+
+
+def test_zero_window_reports_inlet_equilibrium(small_sut, params):
+    result = evaluate_fleet(
+        small_sut, params, MIXED_POINTS[:3], window_steps=0
+    )
+    for i, point in enumerate(MIXED_POINTS[:3]):
+        inlet = params.inlet_c if point.inlet_c is None else point.inlet_c
+        np.testing.assert_array_equal(
+            result.window_sink_c[i],
+            np.full(small_sut.n_sockets, inlet),
+        )
+        np.testing.assert_array_equal(
+            result.window_chip_c[i],
+            np.full(small_sut.n_sockets, inlet),
+        )
+
+
+def test_long_window_converges_to_steady_field(small_sut, params):
+    """Enough decayed steps land on the steady sink/chip temperatures."""
+    result = evaluate_fleet(
+        small_sut, params, MIXED_POINTS, window_steps=10_000_000
+    )
+    np.testing.assert_allclose(
+        result.window_sink_c, result.sink_c, rtol=1e-6, atol=1e-6
+    )
+    np.testing.assert_allclose(
+        result.window_chip_c, result.chip_c, rtol=1e-6, atol=1e-6
+    )
+
+
+def test_field_accessor_matches_serial_solver(small_sut, params):
+    result = evaluate_fleet(small_sut, params, MIXED_POINTS)
+    field = result.field(2)
+    serial = evaluate_fleet_serial(
+        small_sut, params, [MIXED_POINTS[2]]
+    )
+    np.testing.assert_array_equal(field.chip_c, serial.chip_c[0])
+    assert field.hottest_socket == int(np.argmax(serial.chip_c[0]))
+
+
+def test_vmapped_path_matches_serial_via_numpy_shim(small_sut, params):
+    """The JAX-shaped vmapped kernel, driven by the numpy vmap shim.
+
+    The shim loops point by point, so even the coupling matvec stays
+    dgemv — the vmapped structure is bit-identical under numpy.
+    """
+    backend = NumpyBackend(inplace=False)
+    util = np.array([p.utilization for p in MIXED_POINTS])
+    dyn = np.array([p.dyn_max_w for p in MIXED_POINTS])
+    inlet = np.array(
+        [
+            params.inlet_c if p.inlet_c is None else p.inlet_c
+            for p in MIXED_POINTS
+        ]
+    )
+    power, ambient, sink, chip = _steady_fleet_vmapped(
+        small_sut, params, util, dyn, inlet, backend
+    )
+    serial = evaluate_fleet_serial(small_sut, params, MIXED_POINTS)
+    np.testing.assert_array_equal(power, serial.power_w)
+    np.testing.assert_array_equal(ambient, serial.ambient_c)
+    np.testing.assert_array_equal(sink, serial.sink_c)
+    np.testing.assert_array_equal(chip, serial.chip_c)
+
+
+def test_point_validation():
+    with pytest.raises(SimulationError):
+        FleetPoint(1.2, 10.0)
+    with pytest.raises(SimulationError):
+        FleetPoint(0.5, -1.0)
+    with pytest.raises(SimulationError):
+        FleetPoint(0.5, 10.0, dyn_exp=0.0)
+
+
+def test_empty_batch_rejected(small_sut, params):
+    with pytest.raises(SimulationError):
+        evaluate_fleet(small_sut, params, [])
+    with pytest.raises(SimulationError):
+        evaluate_fleet_serial(small_sut, params, [])

@@ -282,6 +282,7 @@ class _FlakyRunPoint:
         point_key=None,
         stepping="fixed",
         multirate=None,
+        backend="numpy",
     ):
         from repro.core import get_scheduler
         from repro.sim.runner import run_once
@@ -311,6 +312,7 @@ class _FlakyRunPoint:
             profile=profile,
             stepping=stepping,
             multirate=multirate,
+            backend=backend,
         )
 
 
