@@ -9,6 +9,9 @@ Subcommands:
 - ``schedulers`` — list the registered scheduling policies.
 - ``sweep`` — run a custom scheduler x load x workload sweep and write
   the summaries to CSV/JSON.
+- ``fleet serve`` / ``fleet query`` / ``fleet chaos`` — run the
+  resilient multi-chassis fleet coordinator, query it over TCP, or
+  drive it through a seeded chaos scenario and audit the invariants.
 """
 
 from __future__ import annotations
@@ -169,6 +172,147 @@ def _cmd_sweep(args) -> int:
                 f"expansion={row['mean_runtime_expansion']:.4f} "
                 f"power={row['average_power_w']:.0f}W"
             )
+    return 0
+
+
+def _fleet_policy(args):
+    """Build the supervision policy from CLI flags.
+
+    ``--heartbeat-interval`` follows the ``REPRO_CACHE_MAX`` sentinel
+    discipline: omitted means "defer to ``REPRO_FLEET_HEARTBEAT``",
+    and explicit non-positive values are rejected with a
+    :class:`~repro.errors.ConfigurationError` naming the knob.
+    """
+    from .fleet import SupervisionPolicy
+
+    interval = args.heartbeat_interval
+    return SupervisionPolicy(
+        heartbeat_interval_s=-1.0 if interval is None else interval
+    )
+
+
+def _cmd_fleet_serve(args) -> int:
+    import asyncio
+
+    from .errors import ConfigurationError
+    from .fleet import FleetService, demo_fleet
+
+    try:
+        policy = _fleet_policy(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    session = None
+    if args.telemetry:
+        from pathlib import Path
+
+        from .obs.session import TelemetrySession
+
+        session = TelemetrySession(
+            Path(args.telemetry) / "fleet.jsonl"
+        )
+    registry = demo_fleet(
+        n_chassis=args.chassis, replicas=args.replicas
+    )
+    service = FleetService(
+        registry,
+        policy=policy,
+        checkpoint_dir=args.checkpoints,
+        session=session,
+    )
+
+    async def _serve() -> None:
+        server = await service.serve(host=args.host, port=args.port)
+        address = ", ".join(
+            str(sock.getsockname()) for sock in server.sockets
+        )
+        print(
+            f"fleet: {registry.n_chassis} chassis / "
+            f"{registry.n_workers} workers serving on {address}"
+        )
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("fleet: stopped")
+    return 0
+
+
+def _cmd_fleet_query(args) -> int:
+    import asyncio
+    import json
+
+    from .errors import FleetError
+    from .fleet.service import query_fleet
+
+    if args.kind == "placement":
+        obj = {
+            "kind": "placement",
+            "chassis": args.chassis,
+            "job_power_w": args.power,
+        }
+    else:
+        obj = {
+            "kind": "what_if",
+            "chassis": args.chassis,
+            "scenarios": [
+                [float(u), float(p)]
+                for u, p in (
+                    pair.split(":") for pair in args.scenarios
+                )
+            ],
+        }
+    try:
+        answer = asyncio.run(
+            query_fleet(obj, host=args.host, port=args.port)
+        )
+    except (OSError, FleetError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(answer, indent=2, sort_keys=True))
+    return 0 if answer.get("status") in ("ok", "degraded") else 1
+
+
+def _cmd_fleet_chaos(args) -> int:
+    import json
+
+    from .errors import ConfigurationError
+    from .fleet import ChaosRunConfig, run_chaos
+
+    try:
+        _fleet_policy(args)  # reject bad knob values before the run
+        config = ChaosRunConfig(
+            seed=args.seed,
+            horizon_s=args.horizon,
+            n_chassis=args.chassis,
+            n_requests=args.requests,
+            n_chaos_events=args.chaos_events,
+        )
+        if args.heartbeat_interval is not None:
+            import dataclasses
+
+            config = dataclasses.replace(
+                config,
+                heartbeat_interval_s=args.heartbeat_interval,
+            )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_chaos(config, out_dir=args.out)
+    print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    if report.log_path is not None:
+        print(f"wrote {report.log_path}")
+    if not report.ok:
+        print(
+            f"{len(report.problems)} invariant violation(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -347,6 +491,104 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--json", help="write summaries to JSON")
     _add_execution_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    fleet_parser = sub.add_parser(
+        "fleet",
+        help="resilient multi-chassis fleet coordinator",
+    )
+    fleet_sub = fleet_parser.add_subparsers(
+        dest="fleet_command", required=True
+    )
+
+    def _add_fleet_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--heartbeat-interval",
+            type=float,
+            default=None,
+            metavar="S",
+            help=(
+                "worker heartbeat cadence in seconds; must be "
+                "positive (also: REPRO_FLEET_HEARTBEAT)"
+            ),
+        )
+        p.add_argument(
+            "--chassis", type=int, default=3, help="fleet width"
+        )
+
+    serve_parser = fleet_sub.add_parser(
+        "serve", help="run the fleet service (JSON lines over TCP)"
+    )
+    _add_fleet_flags(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7781)
+    serve_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="extra workers per chassis (retry targets)",
+    )
+    serve_parser.add_argument(
+        "--checkpoints",
+        metavar="DIR",
+        help="persist worker snapshots for restart recovery",
+    )
+    serve_parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="mirror fleet supervision events to DIR/fleet.jsonl",
+    )
+    serve_parser.set_defaults(func=_cmd_fleet_serve)
+
+    query_parser = fleet_sub.add_parser(
+        "query", help="send one query to a running fleet service"
+    )
+    query_parser.add_argument(
+        "kind", choices=["placement", "what_if"]
+    )
+    query_parser.add_argument("--host", default="127.0.0.1")
+    query_parser.add_argument("--port", type=int, default=7781)
+    query_parser.add_argument(
+        "--chassis", default="c0", help="target chassis id"
+    )
+    query_parser.add_argument(
+        "--power",
+        type=float,
+        default=10.0,
+        help="job dynamic power for placement queries, W",
+    )
+    query_parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=["0.5:10"],
+        metavar="UTIL:POWER",
+        help="what-if scenarios as utilization:dyn_power pairs",
+    )
+    query_parser.set_defaults(func=_cmd_fleet_query)
+
+    chaos_parser = fleet_sub.add_parser(
+        "chaos",
+        help=(
+            "drive the coordinator through a seeded chaos scenario "
+            "in virtual time and audit the invariants"
+        ),
+    )
+    _add_fleet_flags(chaos_parser)
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--horizon", type=float, default=30.0, help="virtual seconds"
+    )
+    chaos_parser.add_argument(
+        "--requests", type=int, default=40, help="workload size"
+    )
+    chaos_parser.add_argument(
+        "--chaos-events", type=int, default=6, help="failures injected"
+    )
+    chaos_parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="write fleet.jsonl and worker checkpoints under DIR",
+    )
+    chaos_parser.set_defaults(func=_cmd_fleet_chaos)
 
     report_parser = sub.add_parser(
         "report", help="write a full reproduction report (markdown)"

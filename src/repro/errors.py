@@ -36,5 +36,27 @@ class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
 
 
+class CheckpointCorruptionError(SimulationError):
+    """An on-disk checkpoint exists but cannot be trusted.
+
+    Raised by the strict checkpoint-recovery path instead of letting a
+    bare unpickle traceback escape, so supervisors can distinguish
+    "state is poisoned, restart cold" from genuine engine failures.
+
+    Attributes:
+        path: The offending checkpoint (or sidecar) file.
+        reason: Why the file was rejected.
+    """
+
+    def __init__(self, path, reason: str):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"corrupt checkpoint {self.path}: {reason}")
+
+
 class ObservabilityError(ReproError):
     """A telemetry event, log or manifest is malformed or unusable."""
+
+
+class FleetError(ReproError):
+    """The fleet coordinator was misused or reached an illegal state."""

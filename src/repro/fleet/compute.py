@@ -1,0 +1,258 @@
+"""Per-chassis query evaluation — the worker's compute core.
+
+One :class:`ChassisCompute` lives inside each worker process (and
+inside the simulated workers of the chaos harness) and answers the two
+query kinds deterministically from chassis state:
+
+- **Placement** queries score *every* candidate socket in one
+  vectorised pass: the steady-state field is solved once, then the
+  linear coupling response ``M[:, i] * p`` of adding the job's power
+  ``p`` on candidate ``i`` is applied for all candidates at once — the
+  same batched full-candidate scoring shape as
+  :class:`repro.core.kernels.PlacementKernel`, over the equilibrium
+  field instead of the engine view.
+- **What-if** queries go through the batched fleet-tensor sweep
+  (:func:`repro.sim.batched.evaluate_fleet`): every scenario is one
+  :class:`~repro.sim.batched.FleetPoint` and the whole batch is
+  answered with stacked kernel calls, memoised in a
+  :class:`~repro.sim.parallel.SweepCache`.
+
+Both paths are pure reads of chassis state — answering a query twice
+(e.g. a retried request) has no side effect, which is what makes the
+coordinator's retry-on-replica policy safe.
+
+The module also owns *degraded* answering: given only a
+:class:`ChassisSnapshot` (the last state a now-dead worker reported),
+produce a bounded-staleness approximation instead of failing closed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config.parameters import SimulationParameters
+from ..errors import FleetError
+from ..server.topology import ServerTopology
+from ..sim.batched import FleetPoint, evaluate_fleet
+from ..sim.parallel import SweepCache
+from ..sim.steady_state import solve_steady_state
+from .messages import PlacementQuery, WhatIfQuery
+from .registry import ChassisSpec
+
+#: Busy dynamic power assumed per socket, as a fraction of TDP, when a
+#: query describes load only through utilization.
+DEFAULT_DYN_FRACTION = 0.6
+
+
+@dataclass(frozen=True)
+class ChassisSnapshot:
+    """The last known thermal state of one chassis.
+
+    Produced by workers (at startup and after every answer), persisted
+    to the worker's recovery checkpoint, and cached by the coordinator
+    as the source for degraded answers.  Tuples, not arrays: the
+    snapshot must pickle compactly and serialise to JSON.
+
+    Attributes:
+        chassis_id: Which chassis this state describes.
+        t: Coordinator-clock time the state was produced, seconds.
+        utilization: Per-socket busy fractions behind the field.
+        chip_c: Per-socket steady chip temperatures, degC.
+        power_w: Per-socket steady total power, W.
+    """
+
+    chassis_id: str
+    t: float
+    utilization: Tuple[float, ...]
+    chip_c: Tuple[float, ...]
+    power_w: Tuple[float, ...]
+
+    @property
+    def peak_chip_c(self) -> float:
+        return max(self.chip_c)
+
+    @property
+    def hottest_socket(self) -> int:
+        return int(np.argmax(self.chip_c))
+
+    def summary(self) -> dict:
+        """JSON-safe digest carried in heartbeats and answers."""
+        return {
+            "chassis": self.chassis_id,
+            "peak_chip_c": float(self.peak_chip_c),
+            "hottest_socket": self.hottest_socket,
+            "total_power_w": float(sum(self.power_w)),
+        }
+
+
+class ChassisCompute:
+    """Deterministic query evaluation for one chassis.
+
+    Attributes:
+        spec: The chassis recipe.
+        topology: Built geometry (constructed from the spec unless
+            injected).
+        params: Simulation parameters (likewise).
+        cache: What-if memo cache (a bounded
+            :class:`~repro.sim.parallel.SweepCache`).
+    """
+
+    def __init__(
+        self,
+        spec: ChassisSpec,
+        topology: Optional[ServerTopology] = None,
+        params: Optional[SimulationParameters] = None,
+        cache: Optional[SweepCache] = None,
+    ) -> None:
+        self.spec = spec
+        self.topology = topology or spec.build_topology()
+        self.params = params or spec.build_params()
+        self.cache = cache if cache is not None else SweepCache()
+
+    # -- state ----------------------------------------------------------
+
+    def _utilization(self, utilization=None) -> np.ndarray:
+        n = self.topology.n_sockets
+        if utilization is None:
+            return np.full(n, self.spec.base_utilization)
+        util = np.asarray(utilization, dtype=float)
+        if util.shape != (n,):
+            raise FleetError(
+                f"chassis {self.spec.chassis_id!r} has {n} sockets, "
+                f"got utilization of shape {util.shape}"
+            )
+        return util
+
+    def snapshot(self, utilization=None, t: float = 0.0) -> ChassisSnapshot:
+        """Solve and package the chassis' current steady state."""
+        util = self._utilization(utilization)
+        field = solve_steady_state(
+            self.topology,
+            self.params,
+            DEFAULT_DYN_FRACTION * self.topology.tdp_array,
+            util,
+        )
+        return ChassisSnapshot(
+            chassis_id=self.spec.chassis_id,
+            t=float(t),
+            utilization=tuple(float(u) for u in util),
+            chip_c=tuple(float(c) for c in field.chip_c),
+            power_w=tuple(float(p) for p in field.power_w),
+        )
+
+    # -- live answering -------------------------------------------------
+
+    def place(self, query: PlacementQuery) -> dict:
+        """Score every candidate socket; return the coolest landing.
+
+        The score of candidate ``i`` is the predicted fleet-wide peak
+        chip temperature after adding ``job_power_w`` on ``i``: the
+        solved base field, shifted by the linear coupling response of
+        the extra heat (downwind entry air rises by ``M[:, i] * p``)
+        plus the candidate's own conduction rise.  First-order in the
+        leakage feedback, exact in the coupling — and evaluated for
+        all candidates in one batched pass.
+        """
+        util = self._utilization(query.utilization)
+        base = solve_steady_state(
+            self.topology,
+            self.params,
+            DEFAULT_DYN_FRACTION * self.topology.tdp_array,
+            util,
+        )
+        p = float(query.job_power_w)
+        matrix = self.topology.coupling.matrix
+        # predicted[i, j]: chip temperature of socket j if the job
+        # lands on socket i.  Row i gets the coupling column of i.
+        predicted = base.chip_c[None, :] + p * matrix.T
+        own = p * (
+            self.topology.r_ext_array + self.params.r_int
+        ) + self.topology.theta_slope_array * p
+        np.fill_diagonal(predicted, np.diagonal(predicted) + own)
+        peaks = predicted.max(axis=1)
+        socket = int(np.argmin(peaks))
+        return {
+            "chassis": self.spec.chassis_id,
+            "socket": socket,
+            "predicted_peak_c": float(peaks[socket]),
+            "base_peak_c": float(base.chip_c.max()),
+        }
+
+    def what_if(self, query: WhatIfQuery) -> dict:
+        """Evaluate a scenario batch via the fleet-tensor sweep."""
+        key = self._what_if_key(query)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        points = [
+            FleetPoint(
+                utilization=u,
+                dyn_max_w=p,
+            )
+            for u, p in query.scenarios
+        ]
+        result = evaluate_fleet(
+            self.topology,
+            self.params,
+            points,
+            window_steps=query.window_steps,
+        )
+        payload = {
+            "chassis": self.spec.chassis_id,
+            "peak_chip_c": [
+                float(c) for c in result.chip_c.max(axis=1)
+            ],
+            "min_freq_mhz": [
+                float(f) for f in result.freq_mhz.min(axis=1)
+            ],
+            "total_power_w": [
+                float(p) for p in result.power_w.sum(axis=1)
+            ],
+        }
+        self.cache.put(key, payload)
+        return payload
+
+    def _what_if_key(self, query: WhatIfQuery) -> str:
+        digest = hashlib.sha256()
+        digest.update(repr(self.spec).encode())
+        digest.update(repr(self.params).encode())
+        digest.update(
+            repr((query.scenarios, query.window_steps)).encode()
+        )
+        return digest.hexdigest()
+
+    def answer(self, query) -> dict:
+        """Dispatch on query kind (the worker-side entry point)."""
+        if isinstance(query, PlacementQuery):
+            return self.place(query)
+        if isinstance(query, WhatIfQuery):
+            return self.what_if(query)
+        raise FleetError(
+            f"unknown query type {type(query).__name__}"
+        )
+
+
+def degraded_payload(snapshot: ChassisSnapshot, query) -> dict:
+    """A bounded-staleness answer from the last known snapshot only.
+
+    Placement falls back to the coolest socket of the stale field
+    (ignoring the job's own coupling response — the topology is the
+    dead worker's business); what-ifs return the stale field digest as
+    the best available approximation.  Callers tag the answer
+    ``DEGRADED`` with the snapshot's age.
+    """
+    if isinstance(query, PlacementQuery):
+        socket = int(np.argmin(snapshot.chip_c))
+        return {
+            "chassis": snapshot.chassis_id,
+            "socket": socket,
+            "predicted_peak_c": float(snapshot.peak_chip_c),
+            "from_snapshot": True,
+        }
+    payload = snapshot.summary()
+    payload["from_snapshot"] = True
+    return payload

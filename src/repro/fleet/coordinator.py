@@ -1,0 +1,702 @@
+"""The fleet coordinator: bounded queueing, dispatch, degraded serving.
+
+:class:`FleetCoordinator` is the deterministic core shared by the
+asyncio service (:mod:`repro.fleet.service`) and the chaos harness
+(:mod:`repro.fleet.chaos`).  It is a *clock-driven* state machine: all
+behaviour happens inside :meth:`submit` and :meth:`tick` calls that
+receive ``now`` explicitly, nothing reads wall-clock or OS entropy,
+and workers are reached only through the :class:`WorkerHandle`
+protocol — so the same registry, seed, chaos schedule and tick cadence
+reproduce the same supervision event sequence bit-for-bit.
+
+Guarantees (checked by :mod:`repro.fleet.invariants` under chaos):
+
+- **Exactly one terminal answer per request.**  Every admitted or
+  shed request ends in precisely one ``fleet_answer`` or
+  ``fleet_shed`` event; late answers from abandoned attempts are
+  dropped (``fleet_drop``), never double-delivered.
+- **Bounded queue.**  Admission never grows the queue beyond
+  ``max_queue``; overflow sheds by request class (BATCH first — an
+  INTERACTIVE arrival evicts queued BATCH work before being shed
+  itself).
+- **Bounded staleness.**  Degraded answers carry the age of the
+  serving snapshot, and are refused (FAILED) beyond
+  ``max_staleness_s``.
+- **No duplicate side effects.**  Queries are pure reads, so a retry
+  against a replica cannot double-execute anything observable; the
+  coordinator still guarantees the *answer* is delivered once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from ..errors import FleetError
+from ..obs.events import make_event
+from .compute import ChassisSnapshot, degraded_payload
+from .messages import (
+    AnswerStatus,
+    FleetAnswer,
+    RequestClass,
+)
+from .registry import FleetRegistry
+from .supervision import SupervisionPolicy, WorkerState, WorkerSupervisor
+
+
+class WorkerHandle(Protocol):
+    """What the coordinator needs from a worker transport.
+
+    Implementations: the fork-based process handle in
+    :mod:`repro.fleet.worker` and the virtual-time simulated handle in
+    :mod:`repro.fleet.chaos`.
+    """
+
+    worker_id: str
+
+    def start(self, now: float) -> Optional[bool]:
+        """(Re)start the worker.
+
+        Returns the cold-recovery flag when known synchronously
+        (simulated workers), or ``None`` when it will arrive later as
+        a ``("hello", cold)`` message (process workers).
+        """
+
+    def stop(self, now: float) -> None:
+        """Kill the worker; any in-flight work is lost."""
+
+    def send(self, request_id: int, query, now: float) -> None:
+        """Deliver one query to the worker."""
+
+    def poll(self, now: float) -> List[Tuple]:
+        """Messages ready at ``now``: ``("heartbeat", seq)``,
+        ``("answer", request_id, payload)``, ``("snapshot", snap)``,
+        ``("hello", cold)`` or ``("exit",)``."""
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Coordinator tunables.
+
+    Attributes:
+        max_queue: Bound on the admission queue (backpressure).
+        max_inflight_per_worker: Dispatch window per worker.
+        request_timeout_s: Dispatch-to-answer deadline per attempt.
+        queue_timeout_s: Admission-to-terminal deadline; a request the
+            fleet cannot dispatch within it is resolved degraded (or
+            FAILED) rather than waiting forever.
+        max_attempts: Worker dispatch attempts before falling back to
+            the snapshot path.
+        retry_jitter_s: Upper bound of the seeded uniform jitter added
+            before a retry is eligible for dispatch (de-synchronises
+            retry storms without breaking determinism).
+        max_staleness_s: Oldest snapshot a degraded answer may serve.
+        seed: Seed of the coordinator's jitter RNG.
+        log_heartbeats: Emit a ``fleet_heartbeat`` event per beat
+            (chaos/test runs); long-running services turn this off.
+    """
+
+    max_queue: int = 64
+    max_inflight_per_worker: int = 4
+    request_timeout_s: float = 5.0
+    queue_timeout_s: float = 10.0
+    max_attempts: int = 2
+    retry_jitter_s: float = 0.2
+    max_staleness_s: float = 60.0
+    seed: int = 0
+    log_heartbeats: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise FleetError("max_queue must be >= 1")
+        if self.max_inflight_per_worker < 1:
+            raise FleetError("max_inflight_per_worker must be >= 1")
+        if self.request_timeout_s <= 0 or self.queue_timeout_s <= 0:
+            raise FleetError("timeouts must be positive")
+        if self.max_attempts < 1:
+            raise FleetError("max_attempts must be >= 1")
+        if self.retry_jitter_s < 0:
+            raise FleetError("retry jitter must be >= 0")
+        if self.max_staleness_s <= 0:
+            raise FleetError("max_staleness_s must be positive")
+
+
+@dataclass
+class _Queued:
+    """One request waiting for dispatch."""
+
+    request_id: int
+    query: object
+    request_class: RequestClass
+    submitted_t: float
+    deadline_t: float
+    not_before: float = 0.0
+    attempts: int = 0
+    exclude: Tuple[str, ...] = ()
+
+
+@dataclass
+class _Inflight:
+    """One request executing on a worker."""
+
+    request_id: int
+    query: object
+    request_class: RequestClass
+    worker_id: str
+    incarnation: int
+    submitted_t: float
+    deadline_t: float
+    attempts: int
+
+
+@dataclass
+class FleetCoordinator:
+    """Deterministic fleet coordination over abstract worker handles.
+
+    Attributes:
+        registry: The fleet layout.
+        handles: Worker transports keyed by worker id (one per
+            registry worker).
+        policy: Supervision tunables shared by all workers.
+        config: Coordinator tunables.
+        session: Optional :class:`~repro.obs.session.TelemetrySession`
+            mirroring the event stream to a ``fleet.jsonl`` log.
+    """
+
+    registry: FleetRegistry
+    handles: Dict[str, WorkerHandle]
+    policy: SupervisionPolicy = dataclass_field(
+        default_factory=SupervisionPolicy
+    )
+    config: FleetConfig = dataclass_field(default_factory=FleetConfig)
+    session: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        missing = [
+            w.worker_id
+            for w in self.registry.workers
+            if w.worker_id not in self.handles
+        ]
+        if missing:
+            raise FleetError(f"no handle for workers {missing}")
+        self.events: List[dict] = []
+        self.supervisors: Dict[str, WorkerSupervisor] = {
+            w.worker_id: WorkerSupervisor(
+                worker_id=w.worker_id,
+                policy=self.policy,
+                emit=self.emit,
+            )
+            for w in self.registry.workers
+        }
+        self._worker_order = [w.worker_id for w in self.registry.workers]
+        self._chassis_of = {
+            w.worker_id: w.chassis_id for w in self.registry.workers
+        }
+        self.queue: List[_Queued] = []
+        self.inflight: Dict[int, _Inflight] = {}
+        self.answers: Dict[int, FleetAnswer] = {}
+        self.snapshots: Dict[str, Tuple[ChassisSnapshot, float]] = {}
+        self._callbacks: Dict[int, Callable[[FleetAnswer], None]] = {}
+        self._rng = np.random.default_rng(self.config.seed)
+        self._next_id = 0
+        self._awaiting_hello: set = set()
+        self._started = False
+        self.peak_queue_len = 0
+
+    # -- events ---------------------------------------------------------
+
+    def emit(self, type_: str, **fields) -> None:
+        """Validate, record and (optionally) log one event."""
+        event = make_event(type_, **fields)
+        self.events.append(event)
+        if self.session is not None:
+            self.session.emit(type_, **fields)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self, now: float = 0.0) -> None:
+        """Start every worker and open the event stream."""
+        if self._started:
+            raise FleetError("coordinator already started")
+        self._started = True
+        self.emit(
+            "fleet_start",
+            n_workers=self.registry.n_workers,
+            n_chassis=self.registry.n_chassis,
+            seed=int(self.config.seed),
+            max_queue=int(self.config.max_queue),
+            # Optional extra (schema contract allows it): lets the
+            # invariant checker bound staleness from the log alone.
+            max_staleness_s=float(self.config.max_staleness_s),
+        )
+        for wid in self._worker_order:
+            self.supervisors[wid].started_t = now
+            # The initial start's cold-recovery flag is not an event:
+            # only *restarts* report recovery provenance.
+            self.handles[wid].start(now)
+
+    def finish(self, now: float) -> None:
+        """Resolve everything still pending and close the stream."""
+        # Drain one last time so answers racing the shutdown land.
+        self.tick(now)
+        for record in [
+            self.inflight[rid] for rid in sorted(self.inflight)
+        ]:
+            del self.inflight[record.request_id]
+            self._resolve_unservable(
+                record.request_id,
+                record.query,
+                record.attempts,
+                now,
+                "shutdown",
+            )
+        for queued in sorted(self.queue, key=lambda q: q.request_id):
+            self._resolve_unservable(
+                queued.request_id,
+                queued.query,
+                queued.attempts,
+                now,
+                "shutdown",
+            )
+        self.queue.clear()
+        n_shed = sum(
+            1
+            for a in self.answers.values()
+            if a.status is AnswerStatus.SHED
+        )
+        self.emit(
+            "fleet_end",
+            t=float(now),
+            n_answered=len(self.answers) - n_shed,
+            n_shed=n_shed,
+        )
+        for wid in self._worker_order:
+            self.handles[wid].stop(now)
+
+    # -- submission & backpressure --------------------------------------
+
+    def submit(
+        self,
+        query,
+        now: float,
+        callback: Optional[Callable[[FleetAnswer], None]] = None,
+    ) -> int:
+        """Admit (or shed) one query; returns its request id.
+
+        The answer arrives through ``callback`` (and
+        :attr:`answers`) once terminal — possibly within this very
+        call, when the request is shed at admission.
+        """
+        rid = self._next_id
+        self._next_id += 1
+        if callback is not None:
+            self._callbacks[rid] = callback
+        cls = query.request_class
+        chassis = query.chassis
+        if chassis not in self.registry.chassis:
+            self.emit(
+                "fleet_submit",
+                t=float(now),
+                request_id=rid,
+                kind=query.kind,
+                request_class=cls.value,
+                chassis=str(chassis),
+                queue_len=len(self.queue),
+            )
+            self._complete(
+                rid,
+                FleetAnswer(
+                    request_id=rid,
+                    status=AnswerStatus.FAILED,
+                    reason=f"unknown chassis {chassis!r}",
+                ),
+                now,
+            )
+            return rid
+        if len(self.queue) >= self.config.max_queue:
+            victim = self._shed_victim(cls)
+            if victim is None:
+                # Shed the arrival itself: FleetBusy.
+                self.emit(
+                    "fleet_submit",
+                    t=float(now),
+                    request_id=rid,
+                    kind=query.kind,
+                    request_class=cls.value,
+                    chassis=chassis,
+                    queue_len=len(self.queue),
+                )
+                self._shed(rid, cls, "queue_full", now)
+                return rid
+            self.queue.remove(victim)
+            self._shed(
+                victim.request_id,
+                victim.request_class,
+                "evicted_for_interactive",
+                now,
+            )
+        self.queue.append(
+            _Queued(
+                request_id=rid,
+                query=query,
+                request_class=cls,
+                submitted_t=now,
+                deadline_t=now + self.config.queue_timeout_s,
+            )
+        )
+        self.peak_queue_len = max(self.peak_queue_len, len(self.queue))
+        self.emit(
+            "fleet_submit",
+            t=float(now),
+            request_id=rid,
+            kind=query.kind,
+            request_class=cls.value,
+            chassis=chassis,
+            queue_len=len(self.queue),
+        )
+        return rid
+
+    def _shed_victim(self, incoming: RequestClass) -> Optional[_Queued]:
+        """The queued BATCH request an INTERACTIVE arrival may evict."""
+        if incoming is not RequestClass.INTERACTIVE:
+            return None
+        for queued in reversed(self.queue):
+            if queued.request_class is RequestClass.BATCH:
+                return queued
+        return None
+
+    def _shed(
+        self, rid: int, cls: RequestClass, reason: str, now: float
+    ) -> None:
+        self.emit(
+            "fleet_shed",
+            t=float(now),
+            request_id=rid,
+            request_class=cls.value,
+            reason=reason,
+        )
+        self._complete(
+            rid,
+            FleetAnswer(
+                request_id=rid,
+                status=AnswerStatus.SHED,
+                reason=reason,
+            ),
+            now,
+            emit_answer=False,
+        )
+
+    # -- the drive loop -------------------------------------------------
+
+    def tick(self, now: float) -> None:
+        """Advance coordination to ``now`` (idempotent per instant)."""
+        if not self._started:
+            raise FleetError("coordinator not started")
+        self._drain_workers(now)
+        self._check_supervision(now)
+        self._expire_inflight(now)
+        self._expire_queue(now)
+        self._run_restarts(now)
+        self._dispatch(now)
+
+    def _drain_workers(self, now: float) -> None:
+        for wid in self._worker_order:
+            sup = self.supervisors[wid]
+            for msg in self.handles[wid].poll(now):
+                kind = msg[0]
+                if kind == "heartbeat":
+                    sup.observe_heartbeat(now, int(msg[1]))
+                    if (
+                        self.config.log_heartbeats
+                        and not sup.down
+                    ):
+                        self.emit(
+                            "fleet_heartbeat",
+                            t=float(now),
+                            worker=wid,
+                            seq=int(msg[1]),
+                        )
+                elif kind == "answer":
+                    self._on_answer(wid, msg[1], msg[2], now)
+                elif kind == "snapshot":
+                    snap = msg[1]
+                    self.snapshots[snap.chassis_id] = (snap, now)
+                elif kind == "hello":
+                    if wid in self._awaiting_hello:
+                        self._awaiting_hello.discard(wid)
+                        sup.on_restarted(now, cold=bool(msg[1]))
+                elif kind == "exit":
+                    if sup.note_exit(now):
+                        self._recover_inflight(wid, now)
+
+    def _on_answer(
+        self, wid: str, rid: int, payload: dict, now: float
+    ) -> None:
+        record = self.inflight.get(rid)
+        sup = self.supervisors[wid]
+        if (
+            record is None
+            or record.worker_id != wid
+            or record.incarnation != sup.incarnation
+        ):
+            # A late answer from an abandoned attempt (timeout/retry)
+            # or a previous incarnation: exactly-once delivery means
+            # it is dropped, visibly.
+            self.emit(
+                "fleet_drop",
+                t=float(now),
+                request_id=int(rid),
+                reason="late_answer",
+            )
+            return
+        del self.inflight[rid]
+        self._complete(
+            rid,
+            FleetAnswer(
+                request_id=rid,
+                status=AnswerStatus.OK,
+                payload=payload,
+                attempts=record.attempts,
+            ),
+            now,
+        )
+
+    def _check_supervision(self, now: float) -> None:
+        for wid in self._worker_order:
+            sup = self.supervisors[wid]
+            if sup.check(now):
+                self.handles[wid].stop(now)
+                self._recover_inflight(wid, now)
+
+    def _recover_inflight(self, wid: str, now: float) -> None:
+        """Requeue (or resolve) the requests a dead worker was running."""
+        for rid in sorted(self.inflight):
+            record = self.inflight[rid]
+            if record.worker_id != wid:
+                continue
+            del self.inflight[rid]
+            self._retry_or_resolve(record, now, exclude=())
+
+    def _expire_inflight(self, now: float) -> None:
+        for rid in sorted(self.inflight):
+            record = self.inflight[rid]
+            if now <= record.deadline_t:
+                continue
+            # The worker is presumably hung on this request; abandon
+            # the attempt (a late answer will be dropped) and retry on
+            # a replica only — never the same worker.
+            del self.inflight[rid]
+            self._retry_or_resolve(
+                record, now, exclude=(record.worker_id,)
+            )
+
+    def _retry_or_resolve(
+        self, record: _Inflight, now: float, exclude: Tuple[str, ...]
+    ) -> None:
+        if record.attempts < self.config.max_attempts:
+            jitter = float(
+                self._rng.uniform(0.0, self.config.retry_jitter_s)
+            )
+            self.queue.insert(
+                0,
+                _Queued(
+                    request_id=record.request_id,
+                    query=record.query,
+                    request_class=record.request_class,
+                    submitted_t=record.submitted_t,
+                    deadline_t=record.submitted_t
+                    + self.config.queue_timeout_s,
+                    not_before=now + jitter,
+                    attempts=record.attempts,
+                    exclude=exclude,
+                ),
+            )
+            self.peak_queue_len = max(
+                self.peak_queue_len, len(self.queue)
+            )
+        else:
+            self._resolve_unservable(
+                record.request_id,
+                record.query,
+                record.attempts,
+                now,
+                "retries_exhausted",
+            )
+
+    def _expire_queue(self, now: float) -> None:
+        for queued in [
+            q for q in self.queue if now > q.deadline_t
+        ]:
+            self.queue.remove(queued)
+            self._resolve_unservable(
+                queued.request_id,
+                queued.query,
+                queued.attempts,
+                now,
+                "queue_timeout",
+            )
+
+    def _run_restarts(self, now: float) -> None:
+        for wid in self._worker_order:
+            sup = self.supervisors[wid]
+            if not sup.due_restart(now):
+                continue
+            cold = self.handles[wid].start(now)
+            if cold is None:
+                self._awaiting_hello.add(wid)
+                # The restart event is emitted when the hello (with
+                # its cold-recovery flag) arrives.
+            else:
+                sup.on_restarted(now, cold=bool(cold))
+
+    def _dispatch(self, now: float) -> None:
+        inflight_count: Dict[str, int] = {
+            wid: 0 for wid in self._worker_order
+        }
+        for record in self.inflight.values():
+            inflight_count[record.worker_id] += 1
+        remaining: List[_Queued] = []
+        for queued in self.queue:
+            if queued.not_before > now:
+                remaining.append(queued)
+                continue
+            workers = self.registry.workers_for(queued.query.chassis)
+            target = None
+            all_quarantined = True
+            for worker in workers:
+                sup = self.supervisors[worker.worker_id]
+                if sup.state is not WorkerState.QUARANTINED:
+                    all_quarantined = False
+                if worker.worker_id in queued.exclude:
+                    continue
+                if not sup.serving:
+                    continue
+                if (
+                    inflight_count[worker.worker_id]
+                    >= self.config.max_inflight_per_worker
+                ):
+                    continue
+                target = worker.worker_id
+                break
+            if target is not None:
+                self._send(queued, target, now)
+                inflight_count[target] += 1
+            elif all_quarantined:
+                # The chassis has no worker left and never will: serve
+                # from the snapshot now rather than waiting out the
+                # queue deadline.
+                self._resolve_unservable(
+                    queued.request_id,
+                    queued.query,
+                    queued.attempts,
+                    now,
+                    "chassis_quarantined",
+                )
+            else:
+                remaining.append(queued)
+        self.queue = remaining
+
+    def _send(self, queued: _Queued, wid: str, now: float) -> None:
+        sup = self.supervisors[wid]
+        self.inflight[queued.request_id] = _Inflight(
+            request_id=queued.request_id,
+            query=queued.query,
+            request_class=queued.request_class,
+            worker_id=wid,
+            incarnation=sup.incarnation,
+            submitted_t=queued.submitted_t,
+            deadline_t=now + self.config.request_timeout_s,
+            attempts=queued.attempts + 1,
+        )
+        self.handles[wid].send(queued.request_id, queued.query, now)
+
+    # -- terminal resolution --------------------------------------------
+
+    def _resolve_unservable(
+        self,
+        rid: int,
+        query,
+        attempts: int,
+        now: float,
+        reason: str,
+    ) -> None:
+        """No live worker can answer: degrade from snapshot, or fail."""
+        chassis = query.chassis
+        held = self.snapshots.get(chassis)
+        if held is not None:
+            snap, received_t = held
+            staleness = now - received_t
+            if staleness <= self.config.max_staleness_s:
+                self.emit(
+                    "fleet_degraded",
+                    t=float(now),
+                    request_id=rid,
+                    chassis=chassis,
+                    staleness_s=float(staleness),
+                )
+                self._complete(
+                    rid,
+                    FleetAnswer(
+                        request_id=rid,
+                        status=AnswerStatus.DEGRADED,
+                        payload=degraded_payload(snap, query),
+                        staleness_s=float(staleness),
+                        attempts=attempts,
+                        reason=reason,
+                    ),
+                    now,
+                )
+                return
+            reason = f"{reason}; snapshot stale ({staleness:.1f}s)"
+        else:
+            reason = f"{reason}; no snapshot"
+        self._complete(
+            rid,
+            FleetAnswer(
+                request_id=rid,
+                status=AnswerStatus.FAILED,
+                attempts=attempts,
+                reason=reason,
+            ),
+            now,
+        )
+
+    def _complete(
+        self,
+        rid: int,
+        answer: FleetAnswer,
+        now: float,
+        emit_answer: bool = True,
+    ) -> None:
+        if rid in self.answers:  # pragma: no cover - guarded upstream
+            raise FleetError(
+                f"request {rid} already has a terminal answer"
+            )
+        self.answers[rid] = answer
+        if emit_answer:
+            self.emit(
+                "fleet_answer",
+                t=float(now),
+                request_id=rid,
+                status=answer.status.value,
+                attempts=int(answer.attempts),
+            )
+        callback = self._callbacks.pop(rid, None)
+        if callback is not None:
+            callback(answer)
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet terminal."""
+        return len(self.queue) + len(self.inflight)
+
+    def worker_states(self) -> Dict[str, str]:
+        """Current supervision state per worker (for status output)."""
+        return {
+            wid: self.supervisors[wid].state.value
+            for wid in self._worker_order
+        }

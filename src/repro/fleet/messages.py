@@ -1,0 +1,168 @@
+"""Request/answer vocabulary of the fleet coordinator.
+
+Everything here is a frozen, picklable value object: queries travel
+from the coordinator into worker processes, answers travel back, and
+both sides must survive the fork boundary and a JSON round-trip (the
+``repro fleet serve`` TCP protocol ships :meth:`FleetAnswer.to_dict`
+lines).
+
+The coordinator promises every admitted request exactly one *terminal*
+answer, whose :class:`AnswerStatus` tells the caller how much to trust
+it:
+
+- ``OK`` — computed by a live chassis worker from current state;
+- ``DEGRADED`` — served from the chassis' last telemetry snapshot
+  because no healthy worker was available; ``staleness_s`` bounds how
+  old that state is;
+- ``SHED`` — rejected under backpressure (a ``503``-style
+  :class:`FleetBusy` outcome) without being executed;
+- ``FAILED`` — no worker, no fresh-enough snapshot, or the retry
+  budget ran out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Optional, Tuple
+
+from ..errors import FleetError
+
+
+class RequestClass(Enum):
+    """Load-shedding priority class of a request.
+
+    ``INTERACTIVE`` requests are the last to be shed: when the bounded
+    queue fills, the coordinator evicts queued ``BATCH`` work to admit
+    them.  ``BATCH`` requests are shed first.
+    """
+
+    INTERACTIVE = "interactive"
+    BATCH = "batch"
+
+
+class AnswerStatus(Enum):
+    """Terminal disposition of a request (see module docstring)."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    SHED = "shed"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class PlacementQuery:
+    """Where should a job of this size land on a chassis?
+
+    Attributes:
+        chassis: Target chassis id in the fleet registry.
+        job_power_w: Dynamic power the job draws while busy, W.
+        utilization: Optional per-socket busy fractions describing the
+            chassis' current load; ``None`` means the uniform
+            ``base_utilization`` of the chassis spec.
+        request_class: Shedding priority.
+    """
+
+    chassis: str
+    job_power_w: float
+    utilization: Optional[Tuple[float, ...]] = None
+    request_class: RequestClass = RequestClass.INTERACTIVE
+
+    kind = "placement"
+
+    def __post_init__(self) -> None:
+        if self.job_power_w <= 0:
+            raise FleetError("job power must be positive")
+        if self.utilization is not None:
+            object.__setattr__(
+                self, "utilization", tuple(float(u) for u in self.utilization)
+            )
+
+
+@dataclass(frozen=True)
+class WhatIfQuery:
+    """What would the chassis look like under a hypothetical load?
+
+    Evaluated through the batched fleet-tensor sweep
+    (:func:`repro.sim.batched.evaluate_fleet`): each ``(utilization,
+    dyn_max_w)`` scenario becomes one :class:`~repro.sim.batched.
+    FleetPoint` and the whole batch is answered with stacked kernel
+    calls.
+
+    Attributes:
+        chassis: Target chassis id.
+        scenarios: ``(utilization, dyn_max_w)`` pairs to evaluate.
+        window_steps: Cold-start transient steps to advance per point.
+        request_class: Shedding priority (what-ifs default to BATCH).
+    """
+
+    chassis: str
+    scenarios: Tuple[Tuple[float, float], ...]
+    window_steps: int = 0
+    request_class: RequestClass = RequestClass.BATCH
+
+    kind = "what_if"
+
+    def __post_init__(self) -> None:
+        scenarios = tuple(
+            (float(u), float(p)) for u, p in self.scenarios
+        )
+        if not scenarios:
+            raise FleetError("what-if query needs at least one scenario")
+        if self.window_steps < 0:
+            raise FleetError("window steps must be >= 0")
+        object.__setattr__(self, "scenarios", scenarios)
+
+
+#: Union of the concrete query types.
+FleetQuery = (PlacementQuery, WhatIfQuery)
+
+
+@dataclass(frozen=True)
+class FleetAnswer:
+    """The single terminal answer for one request.
+
+    Attributes:
+        request_id: Coordinator-assigned id echoed back to the caller.
+        status: Terminal disposition.
+        payload: Status-specific result fields (e.g. ``socket`` and
+            ``predicted_peak_c`` for a placement).  Always JSON-safe.
+        staleness_s: Age of the serving snapshot for ``DEGRADED``
+            answers; ``0.0`` otherwise.
+        attempts: Worker dispatch attempts consumed (0 for sheds and
+            snapshot-only answers).
+        reason: Human-readable cause for SHED/FAILED/DEGRADED answers.
+    """
+
+    request_id: int
+    status: AnswerStatus
+    payload: Mapping = field(default_factory=dict)
+    staleness_s: float = 0.0
+    attempts: int = 0
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (the TCP wire format)."""
+        return {
+            "request_id": self.request_id,
+            "status": self.status.value,
+            "payload": dict(self.payload),
+            "staleness_s": self.staleness_s,
+            "attempts": self.attempts,
+            "reason": self.reason,
+        }
+
+
+class FleetBusy(FleetError):
+    """Raised by blocking submit paths when a request was shed.
+
+    Carries the terminal :class:`FleetAnswer` (status ``SHED``) so
+    callers can distinguish queue-full sheds from other failures —
+    the moral equivalent of an HTTP 503 with a Retry-After.
+    """
+
+    def __init__(self, answer: "FleetAnswer"):
+        self.answer = answer
+        super().__init__(
+            f"fleet is shedding load: {answer.reason or 'queue full'}"
+        )

@@ -5,7 +5,12 @@ Validates every artifact a telemetry directory can contain:
 - each ``*.jsonl`` log is parsed line-by-line and every event is
   checked against the schema (:mod:`repro.obs.events`);
 - each ``*.manifest.json`` must load as a well-formed
-  :class:`~repro.obs.manifest.RunManifest`.
+  :class:`~repro.obs.manifest.RunManifest`;
+- any log containing ``fleet_*`` events is additionally audited
+  against the fleet coordinator's liveness/safety invariants
+  (:mod:`repro.fleet.invariants`) — exactly one terminal answer per
+  request, bounded queue, bounded staleness, legal supervision
+  transitions.
 
 By default the check is *strict about interiors and tails*: a log that
 ends in a truncated line fails (pass ``--allow-truncated`` when
@@ -62,6 +67,20 @@ def check_directory(
             continue
         if not events:
             problems.append(f"telemetry log {path} holds no events")
+            continue
+        # Fleet logs carry coordinator guarantees beyond the schema;
+        # audit them too.  Imported lazily to avoid a package cycle
+        # (repro.fleet itself emits through repro.obs).
+        from ..fleet.invariants import check_fleet_events, has_fleet_events
+
+        complete = any(e.get("type") == "fleet_end" for e in events)
+        if has_fleet_events(events) and complete:
+            # Only completed runs are audited: a killed run's log is
+            # legitimately missing terminals for in-flight requests.
+            problems.extend(
+                f"{path}: {problem}"
+                for problem in check_fleet_events(events)
+            )
     for path in manifests:
         try:
             RunManifest.read(path)

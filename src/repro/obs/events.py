@@ -126,6 +126,72 @@ EVENT_TYPES: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "index": (int,),
         "attempt": (int,),
     },
+    # -- fleet-coordinator events --------------------------------------
+    # Emitted by repro.fleet: one stream per coordinator, covering the
+    # request lifecycle (submit -> answer | shed), worker supervision
+    # (heartbeats, state transitions, restarts) and degraded serving.
+    # All times are coordinator-clock seconds (virtual under chaos), so
+    # a seeded chaos run reproduces the stream bit-for-bit.
+    "fleet_start": {
+        "n_workers": (int,),
+        "n_chassis": (int,),
+        "seed": (int,),
+        "max_queue": (int,),
+    },
+    "fleet_end": {
+        "t": (float, int),
+        "n_answered": (int,),
+        "n_shed": (int,),
+    },
+    "fleet_submit": {
+        "t": (float, int),
+        "request_id": (int,),
+        "kind": (str,),
+        "request_class": (str,),
+        "chassis": (str,),
+        "queue_len": (int,),
+    },
+    "fleet_answer": {
+        "t": (float, int),
+        "request_id": (int,),
+        "status": (str,),
+        "attempts": (int,),
+    },
+    "fleet_shed": {
+        "t": (float, int),
+        "request_id": (int,),
+        "request_class": (str,),
+        "reason": (str,),
+    },
+    "fleet_heartbeat": {
+        "t": (float, int),
+        "worker": (str,),
+        "seq": (int,),
+    },
+    "fleet_worker_state": {
+        "t": (float, int),
+        "worker": (str,),
+        "old": (str,),
+        "new": (str,),
+    },
+    "fleet_restart": {
+        "t": (float, int),
+        "worker": (str,),
+        "attempt": (int,),
+        "backoff_s": (float, int),
+        "cold": (bool,),
+    },
+    "fleet_degraded": {
+        "t": (float, int),
+        "request_id": (int,),
+        "chassis": (str,),
+        "staleness_s": (float, int),
+    },
+    "fleet_drop": {
+        "t": (float, int),
+        "request_id": (int,),
+        "reason": (str,),
+    },
 }
 
 

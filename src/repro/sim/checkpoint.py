@@ -42,7 +42,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
-from ..errors import SimulationError
+from ..errors import CheckpointCorruptionError, SimulationError
 from .results import SimulationResult
 
 #: Suffix of finished-point files inside a checkpoint directory.
@@ -54,17 +54,22 @@ class SweepCheckpoint:
 
     Attributes:
         directory: Where point files live (created on first use).
+        expected_type: The class every checkpointed payload must be an
+            instance of (:class:`~repro.sim.results.SimulationResult`
+            for sweep points; the fleet layer stores chassis snapshots
+            in the same container).
         loads: Points answered from disk so far.
         saves: Points persisted to disk so far.
         dropped: Corrupt files deleted and recomputed.
     """
 
-    def __init__(self, directory):
+    def __init__(self, directory, expected_type: type = SimulationResult):
         self.directory = Path(directory)
         if self.directory.exists() and not self.directory.is_dir():
             raise SimulationError(
                 f"checkpoint path {self.directory} is not a directory"
             )
+        self.expected_type = expected_type
         self.loads = 0
         self.saves = 0
         self.dropped = 0
@@ -101,39 +106,85 @@ class SweepCheckpoint:
             except OSError:  # pragma: no cover - unlink race
                 pass
 
-    def load(self, key: str) -> Optional[SimulationResult]:
-        """The checkpointed result for ``key``, or ``None``.
+    def _read(self, key: str):
+        """Load and verify one checkpoint, raising on anything suspect.
 
-        A file that exists but cannot be unpickled — or whose manifest
-        sidecar is malformed or was written by a different package
-        version — is deleted and reported as a miss, so a half-written
-        or stale checkpoint can never poison a sweep.
+        Raises:
+            CheckpointCorruptionError: naming the offending file, for a
+                checkpoint that fails to unpickle, holds the wrong
+                payload type, carries a malformed manifest sidecar, or
+                was written by an incompatible package version.
         """
         path = self._path(key)
+        if not path.exists():
+            return None
         try:
-            if not path.exists():
-                return None
             with open(path, "rb") as handle:
                 result = pickle.load(handle)
-        except Exception:
-            self._drop(key)
-            return None
-        if not isinstance(result, SimulationResult):
-            self._drop(key)
-            return None
+        except Exception as exc:
+            raise CheckpointCorruptionError(
+                path, f"unpickling failed ({type(exc).__name__}: {exc})"
+            ) from exc
+        if not isinstance(result, self.expected_type):
+            raise CheckpointCorruptionError(
+                path,
+                f"expected a {self.expected_type.__name__} payload, "
+                f"got {type(result).__name__}",
+            )
         # Version guard: a sidecar from another package version marks
         # the pickle as written by incompatible code.
         from ..errors import ObservabilityError
 
         try:
             manifest = self.load_manifest(key)
-        except ObservabilityError:
-            self._drop(key)
-            return None
+        except ObservabilityError as exc:
+            raise CheckpointCorruptionError(
+                self.manifest_path(key), str(exc)
+            ) from exc
         if manifest is not None and not manifest.version_compatible:
+            raise CheckpointCorruptionError(
+                path,
+                "manifest sidecar was written by an incompatible "
+                "package version",
+            )
+        return result
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """The checkpointed result for ``key``, or ``None``.
+
+        A file that exists but cannot be unpickled — or whose manifest
+        sidecar is malformed or was written by a different package
+        version — is deleted and reported as a miss, so a half-written
+        or stale checkpoint can never poison a sweep.  Use
+        :meth:`load_strict` to surface the corruption instead.
+        """
+        try:
+            result = self._read(key)
+        except CheckpointCorruptionError:
             self._drop(key)
             return None
-        self.loads += 1
+        if result is not None:
+            self.loads += 1
+        return result
+
+    def load_strict(self, key: str) -> Optional[SimulationResult]:
+        """Like :meth:`load`, but corruption raises instead of hiding.
+
+        A missing checkpoint still returns ``None`` (a cold start is
+        normal).  A checkpoint that exists but cannot be trusted raises
+        :class:`~repro.errors.CheckpointCorruptionError` naming the
+        offending path — after deleting the poisoned files, so the
+        *next* recovery attempt starts cold instead of tripping over
+        the same corpse.  The fleet supervisor maps this error to a
+        cold restart rather than crashing.
+        """
+        try:
+            result = self._read(key)
+        except CheckpointCorruptionError:
+            self._drop(key)
+            raise
+        if result is not None:
+            self.loads += 1
         return result
 
     def save(self, key: str, result: SimulationResult, manifest=None) -> None:

@@ -606,24 +606,35 @@ def _run_pool(
             return remaining  # sandboxed: no new processes at all
         hung = False
         try:
-            futures = {
-                i: pool.submit(
-                    _run_point,
-                    topology,
-                    params,
-                    points[i],
-                    audit,
-                    audit_interval,
-                    fault_schedule,
-                    telemetry,
-                    profile,
-                    keys[i] if keys is not None else None,
-                    stepping,
-                    multirate,
-                    backend,
-                )
-                for i in remaining
-            }
+            try:
+                futures = {
+                    i: pool.submit(
+                        _run_point,
+                        topology,
+                        params,
+                        points[i],
+                        audit,
+                        audit_interval,
+                        fault_schedule,
+                        telemetry,
+                        profile,
+                        keys[i] if keys is not None else None,
+                        stepping,
+                        multirate,
+                        backend,
+                    )
+                    for i in remaining
+                }
+            except ReproError:
+                raise  # deterministic: a retry cannot change it
+            except Exception:
+                # Submission itself failed (e.g. a BrokenProcessPool
+                # before any work was accepted).  Crash-type failure
+                # for the whole round: every point stays in
+                # ``remaining`` for the next round — or the caller's
+                # serial fallback — instead of escaping the retry
+                # machinery entirely.
+                continue
             still: List[int] = []
             order = iter(list(remaining))
             for i in order:

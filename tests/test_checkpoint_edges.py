@@ -151,3 +151,96 @@ def test_len_counts_only_finished_points(tmp_path, result):
     (tmp_path / f".tmp-stray{CHECKPOINT_SUFFIX}").write_bytes(b"partial")
     (tmp_path / "unrelated.txt").write_text("x")
     assert len(checkpoint) == 2
+
+
+class TestStrictLoading:
+    """load_strict surfaces typed corruption instead of hiding it."""
+
+    def poison(self, tmp_path, payload: bytes):
+        path = tmp_path / f"point{CHECKPOINT_SUFFIX}"
+        path.write_bytes(payload)
+        return SweepCheckpoint(tmp_path), path
+
+    def test_missing_checkpoint_is_a_plain_cold_start(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path)
+        assert checkpoint.load_strict("absent") is None
+
+    def test_garbage_raises_typed_error_naming_the_path(self, tmp_path):
+        from repro.errors import CheckpointCorruptionError
+
+        checkpoint, path = self.poison(tmp_path, b"\xffjunk")
+        with pytest.raises(CheckpointCorruptionError) as info:
+            checkpoint.load_strict("point")
+        assert info.value.path == str(path)
+        assert "unpickling failed" in info.value.reason
+        assert str(path) in str(info.value)
+
+    def test_typed_error_is_a_simulation_error(self, tmp_path):
+        from repro.errors import CheckpointCorruptionError
+
+        assert issubclass(CheckpointCorruptionError, SimulationError)
+
+    def test_poison_dropped_so_next_recovery_is_cold(self, tmp_path):
+        from repro.errors import CheckpointCorruptionError
+
+        checkpoint, path = self.poison(tmp_path, b"\xffjunk")
+        with pytest.raises(CheckpointCorruptionError):
+            checkpoint.load_strict("point")
+        assert not path.exists()
+        assert checkpoint.dropped == 1
+        # The second attempt is a clean cold start, not a crash loop.
+        assert checkpoint.load_strict("point") is None
+
+    def test_wrong_payload_type_raises(self, tmp_path):
+        from repro.errors import CheckpointCorruptionError
+
+        checkpoint, _ = self.poison(tmp_path, pickle.dumps(42))
+        with pytest.raises(CheckpointCorruptionError, match="payload"):
+            checkpoint.load_strict("point")
+
+    def test_expected_type_is_configurable(self, tmp_path):
+        from repro.fleet.compute import ChassisSnapshot
+
+        snapshot = ChassisSnapshot(
+            chassis_id="c0",
+            t=0.0,
+            utilization=(0.5,),
+            chip_c=(40.0,),
+            power_w=(20.0,),
+        )
+        checkpoint = SweepCheckpoint(
+            tmp_path, expected_type=ChassisSnapshot
+        )
+        checkpoint.save("snap", snapshot)
+        assert checkpoint.load_strict("snap") == snapshot
+
+    def test_expected_type_rejects_foreign_payload(self, tmp_path, result):
+        from repro.errors import CheckpointCorruptionError
+        from repro.fleet.compute import ChassisSnapshot
+
+        SweepCheckpoint(tmp_path).save("point", result)
+        strict = SweepCheckpoint(
+            tmp_path, expected_type=ChassisSnapshot
+        )
+        with pytest.raises(
+            CheckpointCorruptionError, match="ChassisSnapshot"
+        ):
+            strict.load_strict("point")
+
+    def test_malformed_sidecar_raises_with_sidecar_path(
+        self, tmp_path, result
+    ):
+        from repro.errors import CheckpointCorruptionError
+
+        checkpoint = SweepCheckpoint(tmp_path)
+        checkpoint.save("point", result)
+        sidecar = checkpoint.manifest_path("point")
+        sidecar.write_text("{not json")
+        with pytest.raises(CheckpointCorruptionError) as info:
+            checkpoint.load_strict("point")
+        assert info.value.path == str(sidecar)
+
+    def test_lenient_load_still_hides_corruption(self, tmp_path):
+        checkpoint, path = self.poison(tmp_path, b"\xffjunk")
+        assert checkpoint.load("point") is None
+        assert not path.exists()

@@ -254,3 +254,125 @@ class TestSerialFallback:
             "CF",
             "CP",
         ]
+
+
+class TestRetryEdgeCases:
+    """Crash-type pool failures must always reach the serial fallback."""
+
+    class _BrokenAtSubmitPool:
+        """A pool whose submit raises, like a pre-broken process pool."""
+
+        instances = 0
+
+        def __init__(self, *args, **kwargs):
+            type(self).instances += 1
+
+        def submit(self, *args, **kwargs):
+            from concurrent.futures.process import BrokenProcessPool
+
+            raise BrokenProcessPool("forked child died immediately")
+
+        def shutdown(self, *args, **kwargs):
+            pass
+
+    class _BrokenAtResultPool:
+        """A pool whose futures all fail with BrokenProcessPool."""
+
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def submit(self, *args, **kwargs):
+            from concurrent.futures.process import BrokenProcessPool
+
+            class _Future:
+                def result(self, timeout=None):
+                    raise BrokenProcessPool("worker crashed mid-run")
+
+            return _Future()
+
+        def shutdown(self, *args, **kwargs):
+            pass
+
+    def _run(self, small_sut, monkeypatch, pool_cls, max_retries):
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", pool_cls)
+        sleeps = []
+        monkeypatch.setattr(
+            parallel.time, "sleep", lambda s: sleeps.append(s)
+        )
+        params = smoke(seed=2)
+        results = run_sweep(
+            small_sut,
+            params,
+            **GRID,
+            max_workers=4,
+            max_retries=max_retries,
+        )
+        return results, sleeps, params
+
+    def test_submit_time_broken_pool_falls_back_to_serial(
+        self, small_sut, monkeypatch
+    ):
+        """A pool broken before accepting work must not escape the
+        retry machinery (regression: submit-phase exceptions used to
+        propagate straight out of execute_sweep)."""
+        self._BrokenAtSubmitPool.instances = 0
+        results, sleeps, params = self._run(
+            small_sut, monkeypatch, self._BrokenAtSubmitPool, 2
+        )
+        reference = run_sweep(small_sut, params, **GRID, max_workers=1)
+        assert_results_identical(results, reference)
+        # Every round burned one pool, then serial completed the sweep.
+        assert self._BrokenAtSubmitPool.instances == 3
+
+    def test_budget_exhausted_on_final_round_completes_serially(
+        self, small_sut, monkeypatch
+    ):
+        """Crashes through the last retry round leave every point to
+        the serial leg, with the documented exponential backoff."""
+        results, sleeps, params = self._run(
+            small_sut, monkeypatch, self._BrokenAtResultPool, 2
+        )
+        reference = run_sweep(small_sut, params, **GRID, max_workers=1)
+        assert_results_identical(results, reference)
+        # Two retry rounds after the first: backoff doubles each time.
+        backoff = 0.25  # execute_sweep's retry_backoff_s default
+        assert sleeps == [backoff, backoff * 2]
+
+    def test_zero_retry_budget_goes_straight_to_serial(
+        self, small_sut, monkeypatch
+    ):
+        results, sleeps, params = self._run(
+            small_sut, monkeypatch, self._BrokenAtResultPool, 0
+        )
+        reference = run_sweep(small_sut, params, **GRID, max_workers=1)
+        assert_results_identical(results, reference)
+        assert sleeps == []  # no retry rounds, no backoff
+
+    def test_retry_rounds_are_telemetered(
+        self, small_sut, monkeypatch, tmp_path
+    ):
+        from repro.obs.session import TelemetryConfig
+        from repro.obs.writer import read_events
+
+        monkeypatch.setattr(
+            parallel, "ProcessPoolExecutor", self._BrokenAtSubmitPool
+        )
+        monkeypatch.setattr(parallel.time, "sleep", lambda s: None)
+        run_sweep(
+            small_sut,
+            smoke(seed=2),
+            **GRID,
+            max_workers=4,
+            max_retries=2,
+            telemetry=TelemetryConfig(directory=tmp_path),
+        )
+        retries = [
+            e
+            for log in sorted(tmp_path.glob("*.jsonl"))
+            for e in read_events(log)
+            if e["type"] == "pool_retry"
+        ]
+        assert [e["round"] for e in retries] == [1, 2]
+        assert all(
+            e["remaining"] == len(GRID["loads"]) * 3 for e in retries
+        )
