@@ -12,6 +12,8 @@ Subcommands:
 - ``fleet serve`` / ``fleet query`` / ``fleet chaos`` — run the
   resilient multi-chassis fleet coordinator, query it over TCP, or
   drive it through a seeded chaos scenario and audit the invariants.
+- ``room`` — room-scale sustainable load under CRAC supply
+  temperature, heat recirculation and thermal-aware placement.
 """
 
 from __future__ import annotations
@@ -316,6 +318,73 @@ def _cmd_fleet_chaos(args) -> int:
     return 0
 
 
+def _cmd_room(args) -> int:
+    import json
+
+    from .errors import ReproError
+    from .experiments.common import ExperimentConfig
+    from .experiments.room_scenarios import run
+    from .workloads.benchmark import BenchmarkSet
+
+    try:
+        config = ExperimentConfig(
+            seed=args.seed,
+            audit=args.audit,
+            telemetry_dir=args.telemetry,
+            backend=args.backend or "numpy",
+        )
+        result = run(
+            config=config,
+            mixes=args.mixes,
+            crac_setpoints_c=args.setpoints,
+            placements=args.placements,
+            benchmark_set=BenchmarkSet(args.set),
+            n_chassis=args.chassis,
+            diurnal_step_h=args.diurnal_step,
+            mode="serial" if args.serial else "batched",
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    from .experiments.common import format_table
+
+    print("Sustainable room load vs CRAC supply temperature")
+    print(
+        format_table(
+            ["CRAC degC"] + list(result.mixes), result.curve_rows()
+        )
+    )
+    print()
+    print(
+        f"Placement comparison at {result.reference_crac_c:.0f} degC"
+    )
+    print(
+        format_table(
+            ["mix"] + list(result.placements),
+            result.placement_rows(),
+        )
+    )
+    print()
+    print(f"Diurnal envelope ({result.diurnal_mix} mix)")
+    print(
+        format_table(
+            ["hour", "supply degC", "max load"],
+            result.diurnal_rows(),
+        )
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(
+                result.to_json_dict(),
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _worker_count(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -589,6 +658,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="write fleet.jsonl and worker checkpoints under DIR",
     )
     chaos_parser.set_defaults(func=_cmd_fleet_chaos)
+
+    room_parser = sub.add_parser(
+        "room",
+        help=(
+            "room-scale sustainable load: CRAC setpoints, heat "
+            "recirculation and thermal-aware placement"
+        ),
+    )
+    room_parser.add_argument(
+        "--mixes",
+        nargs="+",
+        default=["coupled", "uncoupled", "mixed"],
+        help="chassis mixes: coupled, uncoupled, mixed",
+    )
+    room_parser.add_argument(
+        "--setpoints",
+        nargs="+",
+        type=float,
+        default=[14.0, 18.0, 22.0, 26.0, 30.0],
+        metavar="DEGC",
+        help="CRAC supply temperatures for the derating curves",
+    )
+    room_parser.add_argument(
+        "--placements",
+        nargs="+",
+        default=["paper", "coolest", "minhr"],
+        help="placement policies: paper, coolest, minhr",
+    )
+    room_parser.add_argument(
+        "--set",
+        default="Computation",
+        help="benchmark set: Computation, GP, Storage",
+    )
+    room_parser.add_argument(
+        "--chassis", type=int, default=3, help="chassis per mix"
+    )
+    room_parser.add_argument(
+        "--diurnal-step",
+        type=int,
+        default=2,
+        metavar="H",
+        help="hour stride of the diurnal free-cooling trace",
+    )
+    room_parser.add_argument("--seed", type=int, default=0)
+    room_parser.add_argument(
+        "--serial",
+        action="store_true",
+        help=(
+            "solve chassis one at a time instead of the batched "
+            "fleet-tensor path (bit-identical on numpy; for "
+            "differential debugging)"
+        ),
+    )
+    room_parser.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "recheck every converged room equilibrium against the "
+            "room invariant envelope (fixed point, inlet floors, "
+            "temperature ordering, exhaust accounting)"
+        ),
+    )
+    room_parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="mirror room solver events to DIR/room.jsonl",
+    )
+    room_parser.add_argument(
+        "--backend",
+        choices=["numpy", "jax"],
+        default=None,
+        help="array backend for the chassis kernels",
+    )
+    room_parser.add_argument(
+        "--out",
+        metavar="JSON",
+        help="write the sustainable-load results as JSON",
+    )
+    room_parser.set_defaults(func=_cmd_room)
 
     report_parser = sub.add_parser(
         "report", help="write a full reproduction report (markdown)"

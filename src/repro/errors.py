@@ -58,5 +58,34 @@ class ObservabilityError(ReproError):
     """A telemetry event, log or manifest is malformed or unusable."""
 
 
+class RoomError(ReproError):
+    """A room-scale model (recirculation, CRAC, placement) is invalid."""
+
+
+class RoomConvergenceError(RoomError):
+    """The room fixed-point solver failed to reach equilibrium.
+
+    Raised instead of returning a silently wrong thermal field when the
+    inlet fixed point diverges (residuals grow or go non-finite) or the
+    iteration budget runs out above tolerance.
+
+    Attributes:
+        residuals_c: Per-iteration max inlet residuals, degC.
+        tolerance_c: The convergence tolerance that was not met.
+        reason: Why the solve was abandoned.
+    """
+
+    def __init__(self, residuals_c, tolerance_c: float, reason: str):
+        self.residuals_c = tuple(float(r) for r in residuals_c)
+        self.tolerance_c = float(tolerance_c)
+        self.reason = reason
+        last = self.residuals_c[-1] if self.residuals_c else float("nan")
+        super().__init__(
+            f"room solve did not converge ({reason}): last residual "
+            f"{last:.6g} degC after {len(self.residuals_c)} iterations "
+            f"(tolerance {self.tolerance_c:.6g} degC)"
+        )
+
+
 class FleetError(ReproError):
     """The fleet coordinator was misused or reached an illegal state."""

@@ -25,6 +25,7 @@ from . import (
     fig13_zone_behavior,
     fig14_performance,
     fig15_ed2,
+    room_scenarios,
     table1_catalog,
     table2_airflow,
     table3_parameters,
@@ -137,6 +138,12 @@ _EXPERIMENTS: List[Experiment] = [
         "Fan degradation: per-scheme fault regret and downwind loss",
         fault_scenarios,
         heavy=True,
+    ),
+    Experiment(
+        "room",
+        "Room scale: CRAC setpoints, recirculation and placement",
+        room_scenarios,
+        heavy=False,
     ),
     Experiment(
         "table1",

@@ -192,6 +192,32 @@ EVENT_TYPES: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "request_id": (int,),
         "reason": (str,),
     },
+    # -- room-layer events ---------------------------------------------
+    # Emitted by the room fixed-point solver (repro.room.model): one
+    # solve_start per solve, one iteration event per fixed-point pass,
+    # and exactly one terminal converged/diverged event.  Iterations
+    # are 1-based; ``recirculation`` is the recirculation matrix's
+    # content fingerprint, tying the stream to an exact room.
+    "room_solve_start": {
+        "n_chassis": (int,),
+        "crac_supply_c": (float, int),
+        "recirculation": (str,),
+    },
+    "room_iteration": {
+        "iteration": (int,),
+        "residual_c": (float, int),
+        "max_chip_c": (float, int),
+    },
+    "room_converged": {
+        "n_iterations": (int,),
+        "residual_c": (float, int),
+        "max_chip_c": (float, int),
+    },
+    "room_diverged": {
+        "n_iterations": (int,),
+        "residual_c": (float, int),
+        "reason": (str,),
+    },
 }
 
 

@@ -1,0 +1,208 @@
+"""Room heat-recirculation matrices (MinHR-style cross interference).
+
+A density-optimized chassis does not exhaust into a void: some fraction
+of every chassis' hot exhaust short-circuits the cold aisle and re-enters
+chassis inlets before the CRAC can remove the heat.  Following the
+cross-interference formulation of Sun et al. (arXiv 1410.3104) and the
+joint placement + cooling model of Van Damme et al. (arXiv 1611.00522),
+the room layer condenses that aerodynamics into a single matrix ``D``:
+
+.. math::
+
+    T_{inlet} = T_{crac} + D \\, P_{exhaust}
+
+where ``D[i, j]`` is the inlet-temperature rise at chassis *i* per watt
+of exhaust heat leaving chassis *j* (degC/W), absorbing the recirculated
+air fraction and the air stream's heat capacity into one coefficient —
+exactly how MinHR's measured HRF coefficients are used.  ``D`` is
+time-invariant (room geometry does not move) and strictly non-negative
+(recirculated exhaust can only heat an inlet).
+
+The *row-stochastic bound* — every row sum strictly below 1 degC/W —
+is a physical-sanity ceiling, not a sufficiency proof: each watt of
+room exhaust may contribute less than a full degree to any single
+inlet's rise.  Convergence of the room fixed point additionally
+depends on how strongly chassis power reacts to inlet temperature
+(leakage slope x sockets), so the solver still detects and reports
+genuine divergence at runtime (:class:`~repro.errors.
+RoomConvergenceError`) instead of trusting the bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import RoomError
+
+
+@dataclass(frozen=True)
+class RecirculationMatrix:
+    """Validated chassis-to-chassis heat-recirculation coefficients.
+
+    Attributes:
+        matrix: ``(m, m)`` array; ``matrix[i, j]`` is the inlet rise at
+            chassis ``i`` per watt of exhaust from chassis ``j``,
+            degC/W.  Non-negative, finite, with every row sum strictly
+            below 1.
+    """
+
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise RoomError(
+                f"recirculation matrix must be square, got shape "
+                f"{matrix.shape}"
+            )
+        if matrix.shape[0] < 1:
+            raise RoomError("recirculation matrix needs >= 1 chassis")
+        if not np.isfinite(matrix).all():
+            raise RoomError("recirculation entries must be finite")
+        if (matrix < 0).any():
+            raise RoomError(
+                "recirculation entries must be non-negative "
+                "(exhaust can only heat an inlet)"
+            )
+        row_sums = matrix.sum(axis=1)
+        if (row_sums >= 1.0).any():
+            worst = int(np.argmax(row_sums))
+            raise RoomError(
+                f"recirculation row sums must stay below 1 degC/W; "
+                f"row {worst} sums to {row_sums[worst]:.6g}"
+            )
+        matrix = np.ascontiguousarray(matrix)
+        matrix.setflags(write=False)
+        object.__setattr__(self, "matrix", matrix)
+
+    @property
+    def n_chassis(self) -> int:
+        """Number of chassis the matrix couples."""
+        return self.matrix.shape[0]
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no chassis influences any inlet (isolated room)."""
+        return not self.matrix.any()
+
+    def inlet_rise(self, exhaust_w: np.ndarray) -> np.ndarray:
+        """Per-chassis inlet rise ``D @ P`` for an exhaust vector, degC."""
+        exhaust = np.asarray(exhaust_w, dtype=float)
+        if exhaust.shape != (self.n_chassis,):
+            raise RoomError(
+                f"expected exhaust of shape ({self.n_chassis},), got "
+                f"{exhaust.shape}"
+            )
+        return self.matrix @ exhaust
+
+    def hr_contribution(self) -> np.ndarray:
+        """MinHR ranking key: heat recirculated room-wide per watt.
+
+        Column ``j`` summed — the total inlet-temperature rise one watt
+        of chassis ``j``'s exhaust causes across every inlet.  MinHR
+        placement fills the chassis with the *lowest* contribution
+        first.
+        """
+        return self.matrix.sum(axis=0)
+
+    def permuted(self, order: Sequence[int]) -> "RecirculationMatrix":
+        """The same room with chassis relabelled by ``order``.
+
+        ``order[k]`` is the old index of the chassis now called ``k``,
+        so ``permuted(order).matrix[a, b] == matrix[order[a], order[b]]``.
+        """
+        idx = np.asarray(order, dtype=int)
+        if sorted(idx.tolist()) != list(range(self.n_chassis)):
+            raise RoomError(
+                f"order must be a permutation of 0..{self.n_chassis - 1}"
+            )
+        return RecirculationMatrix(self.matrix[np.ix_(idx, idx)])
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the matrix shape and raw IEEE-754 bytes."""
+        digest = hashlib.sha256()
+        digest.update(repr(self.matrix.shape).encode())
+        digest.update(self.matrix.tobytes())
+        return digest.hexdigest()
+
+
+def zero_recirculation(n_chassis: int) -> RecirculationMatrix:
+    """An isolated room: no chassis heats any inlet."""
+    return RecirculationMatrix(np.zeros((n_chassis, n_chassis)))
+
+
+def uniform_recirculation(
+    n_chassis: int,
+    coefficient: float,
+    self_coefficient: float = 0.0,
+) -> RecirculationMatrix:
+    """Every chassis heats every *other* inlet equally.
+
+    Args:
+        n_chassis: Room width.
+        coefficient: Off-diagonal entry, degC/W.
+        self_coefficient: Diagonal entry — a chassis' own exhaust
+            re-entering its inlet (common in contained hot-aisle
+            failures), degC/W.
+    """
+    matrix = np.full((n_chassis, n_chassis), float(coefficient))
+    np.fill_diagonal(matrix, float(self_coefficient))
+    return RecirculationMatrix(matrix)
+
+
+def row_layout_recirculation(
+    n_chassis: int,
+    base: float = 0.004,
+    decay: float = 0.5,
+    self_coefficient: float = 0.001,
+) -> RecirculationMatrix:
+    """Chassis in one physical row: influence decays with distance.
+
+    ``D[i, j] = base * decay**(|i - j| - 1)`` for neighbours, with a
+    small self-recirculation diagonal — the shape MinHR's measured HRF
+    matrices take in a single-row layout (strong nearest-neighbour
+    terms, geometric falloff).  Defaults are sized so a loaded
+    neighbour (~300 W exhaust) raises an adjacent inlet by ~1.2 degC.
+    """
+    if not 0.0 <= decay <= 1.0:
+        raise RoomError(f"decay must lie in [0, 1], got {decay}")
+    idx = np.arange(n_chassis)
+    distance = np.abs(idx[:, None] - idx[None, :])
+    matrix = float(base) * np.power(float(decay), np.maximum(distance - 1, 0))
+    matrix[distance == 0] = float(self_coefficient)
+    return RecirculationMatrix(matrix)
+
+
+def downwind_recirculation(
+    n_chassis: int,
+    base: float = 0.012,
+    decay: float = 0.5,
+) -> RecirculationMatrix:
+    """Exhaust drifts downwind along the aisle: ``j`` heats ``i > j``.
+
+    ``D[i, j] = base * decay**(i - j - 1)`` for downwind chassis
+    (``i > j``), zero elsewhere — the strictly lower-triangular shape
+    of a directed airflow path (hot air migrating towards the end of
+    the aisle).  This is the asymmetric regime where room-aware
+    placement genuinely matters: the upwind chassis enjoys a clean
+    CRAC-temperature inlet while the downwind end absorbs everyone
+    else's heat, and the coolest-inlet and MinHR rankings *disagree*
+    (the coolest inlets are upwind, but the least room-wide
+    recirculation per watt comes from the downwind end).  Defaults are
+    sized so a loaded upwind neighbour (~190 W exhaust) raises the
+    adjacent downwind inlet by ~2.3 degC.
+    """
+    if not 0.0 <= decay <= 1.0:
+        raise RoomError(f"decay must lie in [0, 1], got {decay}")
+    idx = np.arange(n_chassis)
+    offset = idx[:, None] - idx[None, :]
+    matrix = np.where(
+        offset > 0,
+        float(base) * np.power(float(decay), np.maximum(offset - 1, 0)),
+        0.0,
+    )
+    return RecirculationMatrix(matrix)

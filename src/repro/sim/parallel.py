@@ -110,6 +110,7 @@ def config_key(
     fault_schedule=None,
     stepping: str = "fixed",
     backend: str = "numpy",
+    room=None,
 ) -> str:
     """Memo-cache key for one fully specified sweep point.
 
@@ -127,6 +128,13 @@ def config_key(
             the default ``"numpy"`` (which is bit-identical to the
             pre-seam engine), following the same precedent as
             ``stepping``.
+        room: Optional room-layer inputs (an object exposing
+            ``token() -> bytes``, e.g. :class:`~repro.room.capacity.
+            RoomKey` carrying the room fingerprint — chassis mix plus
+            recirculation matrix — and the CRAC setpoint).  Joins the
+            key only when present, so every chassis-only key is
+            unchanged while room sweeps can never alias chassis-only
+            cache or checkpoint entries.
     """
     digest = hashlib.sha256()
     digest.update(topology_token(topology))
@@ -141,6 +149,9 @@ def config_key(
         digest.update(f"|stepping:{stepping}".encode())
     if backend != "numpy":
         digest.update(f"|backend:{backend}".encode())
+    if room is not None:
+        digest.update(b"|room:")
+        digest.update(room.token())
     return digest.hexdigest()
 
 
@@ -160,6 +171,10 @@ def _env_cache_max() -> Optional[int]:
 
 class SweepCache:
     """Bounded, process-local LRU memo cache for sweep results.
+
+    Entries are keyed by :func:`config_key`, so engine sweep results
+    and room-layer solutions (:mod:`repro.room.capacity`, keyed with
+    the ``room=`` inputs) share the bound without ever aliasing.
 
     Holds at most ``max_entries`` results, evicting the least recently
     *used* entry (both hits and inserts refresh recency) when full — a

@@ -13,8 +13,9 @@ from repro.experiments.registry import (
 
 
 class TestRegistry:
-    def test_sixteen_artifacts(self):
-        assert len(EXPERIMENTS) == 16
+    def test_seventeen_artifacts(self):
+        assert len(EXPERIMENTS) == 17
+        assert "room" in EXPERIMENTS
 
     def test_every_experiment_has_run_and_main(self):
         for experiment in all_experiments():

@@ -1,0 +1,276 @@
+"""Property-based tests (hypothesis) for the room layer.
+
+Three property families pin the room fixed point:
+
+- **Recirculation-matrix invariants** — constructed matrices are
+  non-negative with row sums strictly below 1; malformed matrices are
+  rejected loudly; the zero matrix makes the room exactly a set of
+  isolated chassis (bit-identical to per-chassis solves).
+- **CRAC monotonicity** — warming the supply warms every converged
+  inlet by at least the setpoint delta (leakage feedback can only add)
+  and warms every chip.
+- **Permutation equivariance** — relabelling the chassis permutes the
+  solution and nothing else (allclose, not bitwise: dgemv summation
+  order legitimately changes under permutation).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.presets import scaled
+from repro.errors import RoomError
+from repro.fleet.registry import ChassisSpec
+from repro.room import (
+    RecirculationMatrix,
+    Room,
+    downwind_recirculation,
+    row_layout_recirculation,
+    solve_room,
+    uniform_recirculation,
+    zero_recirculation,
+)
+from repro.sim.steady_state import solve_steady_state
+
+#: A cheap uncoupled chassis recipe (4 independent sockets).
+TINY = dict(
+    n_rows=1,
+    lanes_per_row=4,
+    chain_length=1,
+    sockets_per_cartridge_depth=1,
+)
+
+#: A coupled chassis recipe (one 6-deep chain pair, 12 sockets).
+COUPLED = dict(
+    n_rows=1,
+    lanes_per_row=1,
+    chain_length=6,
+    sockets_per_cartridge_depth=2,
+)
+
+
+def tiny_room(n_chassis: int, recirculation) -> Room:
+    return Room(
+        chassis=tuple(
+            ChassisSpec(chassis_id=f"t{i}", **TINY)
+            for i in range(n_chassis)
+        ),
+        recirculation=recirculation,
+    )
+
+
+def mixed_room(recirculation) -> Room:
+    """Heterogeneous 3-chassis room: coupled, tiny, coupled."""
+    return Room(
+        chassis=(
+            ChassisSpec(chassis_id="a", **COUPLED),
+            ChassisSpec(chassis_id="b", **TINY),
+            ChassisSpec(chassis_id="c", **COUPLED),
+        ),
+        recirculation=recirculation,
+    )
+
+
+@st.composite
+def recirculation_matrices(draw):
+    """Valid matrices: non-negative entries, row sums scaled below 1."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    entries = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=n * n,
+            max_size=n * n,
+        )
+    )
+    matrix = np.array(entries).reshape(n, n)
+    scale = draw(st.floats(min_value=0.0, max_value=0.9))
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    matrix = np.where(
+        row_sums > 0, matrix / np.maximum(row_sums, 1e-30) * scale, 0.0
+    )
+    return RecirculationMatrix(matrix)
+
+
+class TestMatrixInvariants:
+    @given(matrix=recirculation_matrices())
+    @settings(max_examples=100, deadline=None)
+    def test_constructed_matrices_hold_the_bounds(self, matrix):
+        assert (matrix.matrix >= 0.0).all()
+        assert (matrix.matrix.sum(axis=1) < 1.0).all()
+        assert np.isfinite(matrix.matrix).all()
+
+    @given(matrix=recirculation_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_contribution_is_column_sums(self, matrix):
+        np.testing.assert_array_equal(
+            matrix.hr_contribution(), matrix.matrix.sum(axis=0)
+        )
+
+    @given(
+        matrix=recirculation_matrices(), data=st.data()
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_round_trips(self, matrix, data):
+        order = data.draw(
+            st.permutations(range(matrix.n_chassis))
+        )
+        inverse = np.argsort(order)
+        back = matrix.permuted(order).permuted(inverse)
+        np.testing.assert_array_equal(back.matrix, matrix.matrix)
+
+    @given(value=st.floats(min_value=0.01, max_value=10.0))
+    def test_negative_entries_rejected(self, value):
+        with pytest.raises(RoomError, match="non-negative"):
+            RecirculationMatrix(np.array([[0.0, -value], [0.0, 0.0]]))
+
+    @given(excess=st.floats(min_value=0.0, max_value=10.0))
+    def test_row_sums_at_or_above_one_rejected(self, excess):
+        with pytest.raises(RoomError, match="row sums"):
+            RecirculationMatrix(np.array([[1.0 + excess]]))
+
+    def test_non_square_and_non_finite_rejected(self):
+        with pytest.raises(RoomError, match="square"):
+            RecirculationMatrix(np.zeros((2, 3)))
+        with pytest.raises(RoomError, match="finite"):
+            RecirculationMatrix(np.array([[np.nan]]))
+
+    def test_builders_are_valid_and_shaped(self):
+        for matrix in (
+            zero_recirculation(3),
+            uniform_recirculation(3, 0.01, self_coefficient=0.002),
+            row_layout_recirculation(5),
+            downwind_recirculation(4),
+        ):
+            assert (matrix.matrix >= 0.0).all()
+            assert (matrix.matrix.sum(axis=1) < 1.0).all()
+        assert zero_recirculation(3).is_zero
+        assert not downwind_recirculation(3).is_zero
+        # Downwind drift is strictly lower-triangular: the upwind
+        # chassis (row 0) receives nothing.
+        down = downwind_recirculation(4).matrix
+        assert not np.triu(down).any()
+
+
+class TestZeroMatrixIsolation:
+    @given(
+        n_chassis=st.integers(min_value=1, max_value=3),
+        utilization=st.floats(min_value=0.0, max_value=1.0),
+        dyn=st.floats(min_value=0.0, max_value=20.0),
+        crac=st.floats(min_value=10.0, max_value=35.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_zero_matrix_equals_isolated_chassis(
+        self, n_chassis, utilization, dyn, crac
+    ):
+        """No recirculation => every chassis solves as if alone, bit
+        for bit, in a single fixed-point iteration."""
+        room = tiny_room(n_chassis, zero_recirculation(n_chassis))
+        solution = solve_room(room, utilization, dyn, crac)
+        assert solution.n_iterations == 1
+        params = dataclasses.replace(
+            scaled(seed=0), inlet_c=float(crac)
+        )
+        for i, spec in enumerate(room.chassis):
+            topology = spec.build_topology()
+            n = topology.n_sockets
+            alone = solve_steady_state(
+                topology,
+                params,
+                np.full(n, dyn),
+                np.full(n, utilization),
+            )
+            for field in ("power_w", "ambient_c", "sink_c", "chip_c"):
+                np.testing.assert_array_equal(
+                    getattr(solution.fields[i], field),
+                    getattr(alone, field),
+                    err_msg=field,
+                )
+
+
+class TestCracMonotonicity:
+    @given(
+        crac=st.floats(min_value=12.0, max_value=28.0),
+        delta=st.floats(min_value=0.5, max_value=8.0),
+        utilization=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_warmer_supply_warms_everything(
+        self, crac, delta, utilization
+    ):
+        """Inlets rise at least by the setpoint delta (leakage feedback
+        only adds heat) and every chip gets warmer."""
+        room = mixed_room(row_layout_recirculation(3))
+        cool = solve_room(room, utilization, 12.0, crac)
+        warm = solve_room(room, utilization, 12.0, crac + delta)
+        assert (warm.inlet_c - cool.inlet_c >= delta - 1e-9).all()
+        assert (warm.max_chip_c > cool.max_chip_c).all()
+        assert (warm.exhaust_w >= cool.exhaust_w - 1e-12).all()
+
+    @given(utilization=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_recirculation_never_cools_the_room(self, utilization):
+        """Adding recirculation can only raise inlets above the
+        isolated room's CRAC-temperature inlets."""
+        isolated = solve_room(
+            mixed_room(zero_recirculation(3)), utilization, 12.0, 20.0
+        )
+        coupled = solve_room(
+            mixed_room(downwind_recirculation(3)),
+            utilization,
+            12.0,
+            20.0,
+        )
+        assert (
+            coupled.inlet_c >= isolated.inlet_c - 1e-12
+        ).all()
+        assert (
+            coupled.max_chip_c >= isolated.max_chip_c - 1e-9
+        ).all()
+
+
+class TestPermutationEquivariance:
+    @given(
+        data=st.data(),
+        utilization=st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=3,
+            max_size=3,
+        ),
+        crac=st.floats(min_value=14.0, max_value=30.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_relabelling_permutes_the_solution(
+        self, data, utilization, crac
+    ):
+        """Solving a permuted room permutes inlets/exhausts/chips and
+        changes nothing else (allclose: BLAS summation order differs)."""
+        order = data.draw(st.permutations(range(3)))
+        room = mixed_room(downwind_recirculation(3))
+        base = solve_room(room, np.array(utilization), 12.0, crac)
+        permuted = solve_room(
+            room.permuted(order),
+            np.array(utilization)[list(order)],
+            12.0,
+            crac,
+        )
+        np.testing.assert_allclose(
+            permuted.inlet_c,
+            base.inlet_c[list(order)],
+            rtol=1e-9,
+            atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            permuted.exhaust_w,
+            base.exhaust_w[list(order)],
+            rtol=1e-9,
+            atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            permuted.max_chip_c,
+            base.max_chip_c[list(order)],
+            rtol=1e-9,
+            atol=1e-9,
+        )
