@@ -196,12 +196,20 @@ def _fleet_policy(args):
 def _cmd_fleet_serve(args) -> int:
     import asyncio
 
-    from .errors import ConfigurationError
-    from .fleet import FleetService, demo_fleet
+    from .errors import ConfigurationError, FleetError
+    from .fleet import FleetConfig, FleetService, demo_fleet
 
     try:
         policy = _fleet_policy(args)
-    except ConfigurationError as exc:
+        config = FleetConfig(
+            log_heartbeats=False,
+            batch_window_s=(
+                -1.0 if args.batch_window is None else args.batch_window
+            ),
+            max_batch=0 if args.max_batch is None else args.max_batch,
+        )
+        config.resolve_batching()  # surface env errors before starting
+    except (ConfigurationError, FleetError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     session = None
@@ -219,8 +227,10 @@ def _cmd_fleet_serve(args) -> int:
     service = FleetService(
         registry,
         policy=policy,
+        config=config,
         checkpoint_dir=args.checkpoints,
         session=session,
+        backend=args.backend,
     )
 
     async def _serve() -> None:
@@ -283,7 +293,7 @@ def _cmd_fleet_query(args) -> int:
 def _cmd_fleet_chaos(args) -> int:
     import json
 
-    from .errors import ConfigurationError
+    from .errors import ConfigurationError, FleetError
     from .fleet import ChaosRunConfig, run_chaos
 
     try:
@@ -294,6 +304,11 @@ def _cmd_fleet_chaos(args) -> int:
             n_chassis=args.chassis,
             n_requests=args.requests,
             n_chaos_events=args.chaos_events,
+            batch_window_s=(
+                -1.0 if args.batch_window is None else args.batch_window
+            ),
+            max_batch=0 if args.max_batch is None else args.max_batch,
+            backend=args.backend,
         )
         if args.heartbeat_interval is not None:
             import dataclasses
@@ -302,10 +317,14 @@ def _cmd_fleet_chaos(args) -> int:
                 config,
                 heartbeat_interval_s=args.heartbeat_interval,
             )
-    except ConfigurationError as exc:
+    except (ConfigurationError, FleetError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = run_chaos(config, out_dir=args.out)
+    try:
+        report = run_chaos(config, out_dir=args.out)
+    except (ConfigurationError, FleetError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(json.dumps(report.summary(), indent=2, sort_keys=True))
     if report.log_path is not None:
         print(f"wrote {report.log_path}")
@@ -582,6 +601,35 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--chassis", type=int, default=3, help="fleet width"
+        )
+        p.add_argument(
+            "--batch-window",
+            type=float,
+            default=None,
+            metavar="S",
+            help=(
+                "micro-batching coalescing window in seconds; 0 "
+                "batches only same-tick arrivals; omitted defers to "
+                "REPRO_FLEET_BATCH (default: batching off)"
+            ),
+        )
+        p.add_argument(
+            "--max-batch",
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "most queries per batch message (default 8 when a "
+                "window is set; also: REPRO_FLEET_BATCH=window:N)"
+            ),
+        )
+        p.add_argument(
+            "--backend",
+            default=None,
+            help=(
+                "array backend for the workers' what-if fleet-tensor "
+                "path (e.g. numpy, jax; also: REPRO_BACKEND)"
+            ),
         )
 
     serve_parser = fleet_sub.add_parser(

@@ -30,15 +30,30 @@ from .chaos import (
     WorkerKill,
     run_chaos,
 )
-from .compute import ChassisCompute, ChassisSnapshot, degraded_payload
-from .coordinator import FleetConfig, FleetCoordinator, WorkerHandle
+from .compute import (
+    WARM_FIELD_CACHE_MAX,
+    ChassisCompute,
+    ChassisSnapshot,
+    WarmFieldCache,
+    degraded_payload,
+)
+from .coordinator import (
+    DEFAULT_MAX_BATCH,
+    ENV_BATCH,
+    FleetConfig,
+    FleetCoordinator,
+    WorkerHandle,
+    batching_from_env,
+)
 from .invariants import check_fleet_events, check_fleet_log
+from .loadgen import drive_fleet, generate_workload, latency_stats
 from .messages import (
     AnswerStatus,
     FleetAnswer,
     FleetBusy,
     FleetQuery,
     PlacementQuery,
+    QueryBatch,
     RequestClass,
     WhatIfQuery,
 )
@@ -70,6 +85,8 @@ __all__ = [
     "ChassisSpec",
     "CheckpointCorruption",
     "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_MAX_BATCH",
+    "ENV_BATCH",
     "ENV_HEARTBEAT",
     "FleetAnswer",
     "FleetBusy",
@@ -80,9 +97,12 @@ __all__ = [
     "FleetService",
     "PlacementQuery",
     "ProcessWorkerHandle",
+    "QueryBatch",
     "RequestClass",
     "SimWorkerHandle",
     "SupervisionPolicy",
+    "WARM_FIELD_CACHE_MAX",
+    "WarmFieldCache",
     "WhatIfQuery",
     "WorkerHandle",
     "WorkerHang",
@@ -90,11 +110,15 @@ __all__ = [
     "WorkerSpec",
     "WorkerState",
     "WorkerSupervisor",
+    "batching_from_env",
     "check_fleet_events",
     "check_fleet_log",
     "degraded_payload",
     "demo_fleet",
+    "drive_fleet",
+    "generate_workload",
     "heartbeat_interval_from_env",
+    "latency_stats",
     "query_fleet",
     "query_from_json",
     "run_chaos",

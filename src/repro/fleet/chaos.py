@@ -311,6 +311,39 @@ class SimWorkerHandle:
             (ready, self._counter, ("answer", request_id, payload), snapshot)
         )
 
+    def send_batch(self, batch, now: float) -> None:
+        """One batch costs its slowest member plus a small per-member
+        marshalling overhead — not the sum of service times; that gap
+        is exactly what the throughput benchmark measures."""
+        if not self.alive:
+            return  # writing into a dead pipe
+        taken = max(now, self._hang_end(now))
+        extra = sum(
+            e for (start, end, e) in self._delays if start <= now <= end
+        )
+        service = max(
+            SERVICE_TIME_S[q.kind] for q in batch.queries
+        ) + 0.01 * (len(batch) - 1)
+        ready = taken + service + extra
+        payloads, stats = self.compute.answer_batch(batch.queries)
+        snapshot = self.compute.snapshot(
+            getattr(batch.queries[-1], "utilization", None), t=ready
+        )
+        self._counter += 1
+        self._pending.append(
+            (
+                ready,
+                self._counter,
+                (
+                    "answer_batch",
+                    batch.batch_id,
+                    list(zip(batch.request_ids, payloads)),
+                    stats,
+                ),
+                snapshot,
+            )
+        )
+
     def poll(self, now: float) -> List[tuple]:
         if self.alive:
             self._flush_sent(now)
@@ -378,6 +411,12 @@ class ChaosRunConfig:
             force backpressure sheds.
         n_chaos_events: Failures sampled into the schedule.
         heartbeat_interval_s: Virtual heartbeat cadence.
+        batch_window_s: Micro-batching window passed through to
+            :class:`~repro.fleet.coordinator.FleetConfig` (same
+            ``-1.0`` env-sentinel semantics; defaults leave batching
+            off, keeping legacy chaos logs byte-identical).
+        max_batch: Batch size bound passed through likewise.
+        backend: Array backend for the workers' what-if path.
     """
 
     seed: int = 0
@@ -388,6 +427,9 @@ class ChaosRunConfig:
     burst_size: int = 12
     n_chaos_events: int = 6
     heartbeat_interval_s: float = 0.25
+    batch_window_s: float = -1.0
+    max_batch: int = 0
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0 or self.tick_s <= 0:
@@ -531,7 +573,7 @@ def run_chaos(
         session = TelemetrySession(log_path)
 
     computes = {
-        chassis_id: ChassisCompute(spec)
+        chassis_id: ChassisCompute(spec, backend=config.backend)
         for chassis_id, spec in registry.chassis.items()
     }
     handles = {
@@ -560,6 +602,8 @@ def run_chaos(
         max_staleness_s=config.horizon_s,
         seed=config.seed,
         log_heartbeats=True,
+        batch_window_s=config.batch_window_s,
+        max_batch=config.max_batch,
     )
     coordinator = FleetCoordinator(
         registry=registry,

@@ -25,25 +25,94 @@ Guarantees (checked by :mod:`repro.fleet.invariants` under chaos):
 - **No duplicate side effects.**  Queries are pure reads, so a retry
   against a replica cannot double-execute anything observable; the
   coordinator still guarantees the *answer* is delivered once.
+
+**Micro-batching.**  With batching enabled (``batch_window_s`` /
+``max_batch`` on :class:`FleetConfig`, ``--batch-window`` on the CLI,
+``REPRO_FLEET_BATCH`` in the environment) the dispatch step coalesces
+compatible queued queries per target worker: a query may be *held* in
+the queue for up to ``batch_window_s`` after becoming dispatchable,
+and whatever coalesced — up to ``max_batch`` members — ships as one
+:class:`~repro.fleet.messages.QueryBatch` answered in a single
+:meth:`~repro.fleet.compute.ChassisCompute.answer_batch` pass.  The
+batch is purely a transport/compute grouping: every member keeps its
+own inflight record, deadline, retry budget, exclusion set and
+exactly-one-terminal-answer guarantee, and held members remain
+ordinary queue entries (still subject to queue timeouts and
+class-based shedding).  Batching is off by default
+(``batch_window_s=0``, ``max_batch=1``), in which case dispatch is the
+legacy one-query-per-message path, byte-identical to earlier
+releases.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field as dataclass_field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
 
 import numpy as np
 
-from ..errors import FleetError
+from ..errors import ConfigurationError, FleetError
 from ..obs.events import make_event
 from .compute import ChassisSnapshot, degraded_payload
 from .messages import (
     AnswerStatus,
     FleetAnswer,
+    QueryBatch,
     RequestClass,
 )
 from .registry import FleetRegistry
 from .supervision import SupervisionPolicy, WorkerState, WorkerSupervisor
+
+#: Environment variable setting the default batching window, as
+#: ``"window_s"`` or ``"window_s:max_batch"`` (e.g. ``"0.05:8"``).
+ENV_BATCH = "REPRO_FLEET_BATCH"
+
+#: Default batch size bound when batching is enabled without an
+#: explicit ``max_batch``.
+DEFAULT_MAX_BATCH = 8
+
+
+def batching_from_env() -> Tuple[float, int]:
+    """The ``(batch_window_s, max_batch)`` declared by the environment.
+
+    ``REPRO_FLEET_BATCH`` holds ``"window_s"`` or
+    ``"window_s:max_batch"``; unset/empty means batching off
+    (``(0.0, 0)`` — the 0 meaning "no explicit bound declared").
+
+    Raises:
+        ConfigurationError: for a malformed value, naming
+            ``REPRO_FLEET_BATCH``.
+    """
+    raw = os.environ.get(ENV_BATCH)
+    if raw is None or raw == "":
+        return 0.0, 0
+    window_part, _, batch_part = raw.partition(":")
+    try:
+        window = float(window_part)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{ENV_BATCH} must be 'window_s' or 'window_s:max_batch', "
+            f"got {raw!r}"
+        ) from exc
+    if window < 0:
+        raise ConfigurationError(
+            f"{ENV_BATCH} window must be >= 0, got {window!r}"
+        )
+    max_batch = 0
+    if batch_part:
+        try:
+            max_batch = int(batch_part)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{ENV_BATCH} max_batch must be an integer, "
+                f"got {batch_part!r}"
+            ) from exc
+        if max_batch < 1:
+            raise ConfigurationError(
+                f"{ENV_BATCH} max_batch must be >= 1, got {max_batch!r}"
+            )
+    return window, max_batch
 
 
 class WorkerHandle(Protocol):
@@ -70,9 +139,14 @@ class WorkerHandle(Protocol):
     def send(self, request_id: int, query, now: float) -> None:
         """Deliver one query to the worker."""
 
+    def send_batch(self, batch: QueryBatch, now: float) -> None:
+        """Deliver one query batch (only used with batching enabled)."""
+
     def poll(self, now: float) -> List[Tuple]:
         """Messages ready at ``now``: ``("heartbeat", seq)``,
-        ``("answer", request_id, payload)``, ``("snapshot", snap)``,
+        ``("answer", request_id, payload)``,
+        ``("answer_batch", batch_id, entries, stats)`` with entries a
+        list of ``(request_id, payload)`` pairs, ``("snapshot", snap)``,
         ``("hello", cold)`` or ``("exit",)``."""
 
 
@@ -96,6 +170,18 @@ class FleetConfig:
         seed: Seed of the coordinator's jitter RNG.
         log_heartbeats: Emit a ``fleet_heartbeat`` event per beat
             (chaos/test runs); long-running services turn this off.
+        batch_window_s: Micro-batching coalescing window: how long a
+            dispatchable query may be held waiting for companions.
+            The ``-1.0`` sentinel (default) defers to
+            ``REPRO_FLEET_BATCH`` (default ``0.0``); any other
+            negative value is rejected.  ``0.0`` with ``max_batch``
+            at 1 disables batching entirely (the legacy
+            one-query-per-message dispatch path).
+        max_batch: Most members per :class:`~repro.fleet.messages.
+            QueryBatch`.  ``0`` (default) defers to
+            ``REPRO_FLEET_BATCH``, falling back to
+            :data:`DEFAULT_MAX_BATCH` when a window is configured and
+            1 otherwise; negative values are rejected.
     """
 
     max_queue: int = 64
@@ -107,6 +193,8 @@ class FleetConfig:
     max_staleness_s: float = 60.0
     seed: int = 0
     log_heartbeats: bool = True
+    batch_window_s: float = -1.0
+    max_batch: int = 0
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -121,11 +209,42 @@ class FleetConfig:
             raise FleetError("retry jitter must be >= 0")
         if self.max_staleness_s <= 0:
             raise FleetError("max_staleness_s must be positive")
+        if self.batch_window_s < 0 and self.batch_window_s != -1.0:
+            raise FleetError(
+                "batch window must be >= 0 (or the -1.0 env sentinel), "
+                f"got {self.batch_window_s!r}"
+            )
+        if self.max_batch < 0:
+            raise FleetError(
+                f"max_batch must be >= 0, got {self.max_batch!r}"
+            )
+
+    def resolve_batching(self) -> Tuple[float, int]:
+        """The effective ``(batch_window_s, max_batch)`` after env defaults.
+
+        Resolved once at coordinator construction (not per tick), so a
+        long-lived coordinator is immune to environment churn.
+        """
+        window = self.batch_window_s
+        env_batch = 0
+        if window == -1.0:
+            window, env_batch = batching_from_env()
+        max_batch = self.max_batch
+        if max_batch == 0:
+            max_batch = env_batch or (
+                DEFAULT_MAX_BATCH if window > 0 else 1
+            )
+        return float(window), int(max_batch)
 
 
 @dataclass
 class _Queued:
-    """One request waiting for dispatch."""
+    """One request waiting for dispatch.
+
+    ``ready_t`` is when the request became dispatchable (admission, or
+    retry eligibility) — the reference point the batching window
+    measures waiting against.
+    """
 
     request_id: int
     query: object
@@ -135,6 +254,7 @@ class _Queued:
     not_before: float = 0.0
     attempts: int = 0
     exclude: Tuple[str, ...] = ()
+    ready_t: float = 0.0
 
 
 @dataclass
@@ -149,6 +269,29 @@ class _Inflight:
     submitted_t: float
     deadline_t: float
     attempts: int
+    batch_id: Optional[int] = None
+
+
+@dataclass
+class _BatchMeta:
+    """Dispatch record of one query batch, awaiting its reply.
+
+    ``members`` tracks which member requests are still attributed to
+    the batch; abandoning a member (timeout, worker death, shutdown)
+    removes it, and a meta whose members all vanished is discarded so
+    the table stays bounded.  The ``fleet_batch`` event is emitted
+    when (and only when) the matching reply arrives from the same
+    worker incarnation.
+    """
+
+    batch_id: int
+    worker_id: str
+    chassis: str
+    incarnation: int
+    size: int
+    window_wait_s: float
+    members: Set[int]
+    queue_len: int = 0
 
 
 @dataclass
@@ -204,6 +347,12 @@ class FleetCoordinator:
         self._awaiting_hello: set = set()
         self._started = False
         self.peak_queue_len = 0
+        self.batch_window_s, self.max_batch = (
+            self.config.resolve_batching()
+        )
+        self._batching = self.max_batch > 1 or self.batch_window_s > 0
+        self._next_batch_id = 0
+        self._batches: Dict[int, _BatchMeta] = {}
 
     # -- events ---------------------------------------------------------
 
@@ -245,6 +394,7 @@ class FleetCoordinator:
             self.inflight[rid] for rid in sorted(self.inflight)
         ]:
             del self.inflight[record.request_id]
+            self._drop_batch_member(record)
             self._resolve_unservable(
                 record.request_id,
                 record.query,
@@ -261,6 +411,7 @@ class FleetCoordinator:
                 "shutdown",
             )
         self.queue.clear()
+        self._batches.clear()
         n_shed = sum(
             1
             for a in self.answers.values()
@@ -344,6 +495,7 @@ class FleetCoordinator:
                 request_class=cls,
                 submitted_t=now,
                 deadline_t=now + self.config.queue_timeout_s,
+                ready_t=now,
             )
         )
         self.peak_queue_len = max(self.peak_queue_len, len(self.queue))
@@ -420,6 +572,10 @@ class FleetCoordinator:
                         )
                 elif kind == "answer":
                     self._on_answer(wid, msg[1], msg[2], now)
+                elif kind == "answer_batch":
+                    self._on_answer_batch(
+                        wid, msg[1], msg[2], msg[3], now
+                    )
                 elif kind == "snapshot":
                     snap = msg[1]
                     self.snapshots[snap.chassis_id] = (snap, now)
@@ -452,6 +608,7 @@ class FleetCoordinator:
             )
             return
         del self.inflight[rid]
+        self._drop_batch_member(record)
         self._complete(
             rid,
             FleetAnswer(
@@ -462,6 +619,55 @@ class FleetCoordinator:
             ),
             now,
         )
+
+    def _on_answer_batch(
+        self,
+        wid: str,
+        bid: int,
+        entries: List[Tuple[int, dict]],
+        stats: dict,
+        now: float,
+    ) -> None:
+        """One batch reply: emit its telemetry, then deliver members.
+
+        Members route through :meth:`_on_answer` individually, so the
+        per-request exactly-once guarantee (late answers dropped
+        visibly) is untouched by batching.  The ``fleet_batch`` event
+        is emitted only for a reply from the dispatching incarnation —
+        a batch whose worker died or whose members were all abandoned
+        emits nothing.
+        """
+        meta = self._batches.pop(bid, None)
+        sup = self.supervisors[wid]
+        if (
+            meta is not None
+            and meta.worker_id == wid
+            and meta.incarnation == sup.incarnation
+        ):
+            self.emit(
+                "fleet_batch",
+                t=float(now),
+                worker=wid,
+                chassis=meta.chassis,
+                size=int(meta.size),
+                window_wait_s=float(meta.window_wait_s),
+                queue_len=int(meta.queue_len),
+                warm_hits=int(stats.get("warm_hits", 0)),
+                warm_misses=int(stats.get("warm_misses", 0)),
+            )
+        for rid, payload in entries:
+            self._on_answer(wid, int(rid), payload, now)
+
+    def _drop_batch_member(self, record: _Inflight) -> None:
+        """Release one member's attribution in its batch record."""
+        if record.batch_id is None:
+            return
+        meta = self._batches.get(record.batch_id)
+        if meta is None:
+            return
+        meta.members.discard(record.request_id)
+        if not meta.members:
+            del self._batches[record.batch_id]
 
     def _check_supervision(self, now: float) -> None:
         for wid in self._worker_order:
@@ -477,6 +683,7 @@ class FleetCoordinator:
             if record.worker_id != wid:
                 continue
             del self.inflight[rid]
+            self._drop_batch_member(record)
             self._retry_or_resolve(record, now, exclude=())
 
     def _expire_inflight(self, now: float) -> None:
@@ -488,6 +695,7 @@ class FleetCoordinator:
             # the attempt (a late answer will be dropped) and retry on
             # a replica only — never the same worker.
             del self.inflight[rid]
+            self._drop_batch_member(record)
             self._retry_or_resolve(
                 record, now, exclude=(record.worker_id,)
             )
@@ -511,6 +719,7 @@ class FleetCoordinator:
                     not_before=now + jitter,
                     attempts=record.attempts,
                     exclude=exclude,
+                    ready_t=now + jitter,
                 ),
             )
             self.peak_queue_len = max(
@@ -552,6 +761,13 @@ class FleetCoordinator:
                 sup.on_restarted(now, cold=bool(cold))
 
     def _dispatch(self, now: float) -> None:
+        if self._batching:
+            self._dispatch_batched(now)
+        else:
+            self._dispatch_serial(now)
+
+    def _dispatch_serial(self, now: float) -> None:
+        """Legacy one-query-per-message dispatch (batching off)."""
         inflight_count: Dict[str, int] = {
             wid: 0 for wid in self._worker_order
         }
@@ -597,6 +813,123 @@ class FleetCoordinator:
             else:
                 remaining.append(queued)
         self.queue = remaining
+
+    def _dispatch_batched(self, now: float) -> None:
+        """Micro-batching dispatch: coalesce per worker, flush by window.
+
+        Worker eligibility is decided per member with exactly the
+        serial path's rules (exclusions, serving state, inflight cap —
+        counting members tentatively grouped this tick).  A worker's
+        group flushes in ``max_batch``-sized chunks; a partial chunk
+        flushes only once its oldest member has waited
+        ``batch_window_s`` since becoming dispatchable, and otherwise
+        stays in the queue (in order, still governed by queue timeouts
+        and shedding).
+        """
+        inflight_count: Dict[str, int] = {
+            wid: 0 for wid in self._worker_order
+        }
+        for record in self.inflight.values():
+            inflight_count[record.worker_id] += 1
+        groups: Dict[str, List[_Queued]] = {}
+        gone: Set[int] = set()
+        for queued in self.queue:
+            if queued.not_before > now:
+                continue
+            workers = self.registry.workers_for(queued.query.chassis)
+            target = None
+            all_quarantined = True
+            for worker in workers:
+                sup = self.supervisors[worker.worker_id]
+                if sup.state is not WorkerState.QUARANTINED:
+                    all_quarantined = False
+                if worker.worker_id in queued.exclude:
+                    continue
+                if not sup.serving:
+                    continue
+                if (
+                    inflight_count[worker.worker_id]
+                    >= self.config.max_inflight_per_worker
+                ):
+                    continue
+                target = worker.worker_id
+                break
+            if target is not None:
+                groups.setdefault(target, []).append(queued)
+                inflight_count[target] += 1
+            elif all_quarantined:
+                gone.add(queued.request_id)
+                self._resolve_unservable(
+                    queued.request_id,
+                    queued.query,
+                    queued.attempts,
+                    now,
+                    "chassis_quarantined",
+                )
+        flushed_bids: List[int] = []
+        for wid in self._worker_order:
+            members = groups.get(wid)
+            while members:
+                chunk = members[: self.max_batch]
+                oldest_wait = now - min(m.ready_t for m in chunk)
+                if (
+                    len(chunk) < self.max_batch
+                    and oldest_wait < self.batch_window_s
+                ):
+                    break  # hold the partial chunk for companions
+                flushed_bids.append(
+                    self._send_batch(chunk, wid, oldest_wait, now)
+                )
+                gone.update(m.request_id for m in chunk)
+                members = members[self.max_batch:]
+        if gone:
+            self.queue = [
+                q for q in self.queue if q.request_id not in gone
+            ]
+        for bid in flushed_bids:
+            self._batches[bid].queue_len = len(self.queue)
+
+    def _send_batch(
+        self,
+        members: List[_Queued],
+        wid: str,
+        window_wait_s: float,
+        now: float,
+    ) -> int:
+        """Record per-member inflight state and ship one QueryBatch."""
+        sup = self.supervisors[wid]
+        chassis = self._chassis_of[wid]
+        bid = self._next_batch_id
+        self._next_batch_id += 1
+        for queued in members:
+            self.inflight[queued.request_id] = _Inflight(
+                request_id=queued.request_id,
+                query=queued.query,
+                request_class=queued.request_class,
+                worker_id=wid,
+                incarnation=sup.incarnation,
+                submitted_t=queued.submitted_t,
+                deadline_t=now + self.config.request_timeout_s,
+                attempts=queued.attempts + 1,
+                batch_id=bid,
+            )
+        self._batches[bid] = _BatchMeta(
+            batch_id=bid,
+            worker_id=wid,
+            chassis=chassis,
+            incarnation=sup.incarnation,
+            size=len(members),
+            window_wait_s=float(window_wait_s),
+            members={m.request_id for m in members},
+        )
+        batch = QueryBatch(
+            batch_id=bid,
+            chassis=chassis,
+            request_ids=tuple(m.request_id for m in members),
+            queries=tuple(m.query for m in members),
+        )
+        self.handles[wid].send_batch(batch, now)
+        return bid
 
     def _send(self, queued: _Queued, wid: str, now: float) -> None:
         sup = self.supervisors[wid]

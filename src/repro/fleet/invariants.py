@@ -26,6 +26,12 @@ Invariants checked:
 - **Monotonic heartbeats**: per worker, heartbeat sequence numbers
   strictly increase within an incarnation and only reset after a
   ``fleet_restart``.
+- **Sane batches**: every ``fleet_batch`` has a positive member count
+  within the coordinator's batching bound (when declared), a
+  non-negative window wait, non-negative warm-cache counters, and a
+  queue depth within ``max_queue`` — and batching never weakens the
+  one-terminal-per-request guarantee above (members answer
+  individually).
 - **Ordering**: events appear in non-decreasing time order and nothing
   follows ``fleet_end``.
 """
@@ -111,6 +117,33 @@ def check_fleet_events(events: Iterable[Mapping]) -> List[str]:
                 problems.append(
                     f"event {lineno}: staleness {staleness:.3f}s "
                     f"exceeds bound {max_staleness:.3f}s"
+                )
+        elif type_ == "fleet_batch":
+            size = int(event["size"])
+            if size < 1:
+                problems.append(
+                    f"event {lineno}: batch of size {size}"
+                )
+            window_wait = float(event["window_wait_s"])
+            if window_wait < 0:
+                problems.append(
+                    f"event {lineno}: negative batch window wait "
+                    f"{window_wait}"
+                )
+            if (
+                int(event["warm_hits"]) < 0
+                or int(event["warm_misses"]) < 0
+            ):
+                problems.append(
+                    f"event {lineno}: negative warm-cache counters"
+                )
+            queue_len = int(event["queue_len"])
+            if queue_len < 0 or (
+                max_queue is not None and queue_len > max_queue
+            ):
+                problems.append(
+                    f"event {lineno}: batch queue_len {queue_len} "
+                    f"outside [0, {max_queue}]"
                 )
         elif type_ == "fleet_heartbeat":
             worker = str(event["worker"])

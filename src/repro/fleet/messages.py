@@ -119,6 +119,66 @@ FleetQuery = (PlacementQuery, WhatIfQuery)
 
 
 @dataclass(frozen=True)
+class QueryBatch:
+    """Several queued queries for one chassis, shipped as one message.
+
+    Produced by the coordinator's micro-batching dispatch path (see
+    :class:`~repro.fleet.coordinator.FleetConfig` ``batch_window_s`` /
+    ``max_batch``): compatible queries that coalesced inside one
+    batching window travel to the worker together, the worker answers
+    them in one :meth:`~repro.fleet.compute.ChassisCompute.
+    answer_batch` pass, and the reply comes back as a single
+    ``("answer_batch", batch_id, entries, stats)`` message.  Each
+    member keeps its own request id, timeout, retry budget and
+    exactly-one-terminal-answer guarantee — the batch is a *transport
+    and compute* grouping, never a delivery grouping.
+
+    Attributes:
+        batch_id: Coordinator-assigned id echoed back by the worker so
+            the reply can be matched to its dispatch record.
+        chassis: The single chassis every member targets.
+        request_ids: Coordinator request ids, aligned with ``queries``.
+        queries: The member queries, in dispatch (queue) order.
+    """
+
+    batch_id: int
+    chassis: str
+    request_ids: Tuple[int, ...]
+    queries: Tuple
+
+    kind = "query_batch"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "request_ids", tuple(int(r) for r in self.request_ids)
+        )
+        object.__setattr__(self, "queries", tuple(self.queries))
+        if not self.queries:
+            raise FleetError("a query batch needs at least one member")
+        if len(self.request_ids) != len(self.queries):
+            raise FleetError(
+                f"batch has {len(self.request_ids)} request ids for "
+                f"{len(self.queries)} queries"
+            )
+        if len(set(self.request_ids)) != len(self.request_ids):
+            raise FleetError("batch request ids must be unique")
+        for query in self.queries:
+            if not isinstance(query, FleetQuery):
+                raise FleetError(
+                    f"batch members must be fleet queries, got "
+                    f"{type(query).__name__}"
+                )
+            if query.chassis != self.chassis:
+                raise FleetError(
+                    f"batch for chassis {self.chassis!r} contains a "
+                    f"query for {query.chassis!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+@dataclass(frozen=True)
 class FleetAnswer:
     """The single terminal answer for one request.
 

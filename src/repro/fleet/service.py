@@ -41,17 +41,38 @@ from .supervision import SupervisionPolicy
 from .worker import ProcessWorkerHandle
 
 
+def _request_class(obj: dict, default: RequestClass) -> RequestClass:
+    """Parse ``request_class`` strictly — unknown strings are rejected.
+
+    Rejection is explicit and typed (not a silent fallback to a
+    default class, which would let a typo like ``"bulk"`` quietly jump
+    the shedding queue or get shed first).
+    """
+    raw = obj.get("request_class", default.value)
+    try:
+        return RequestClass(str(raw))
+    except ValueError as exc:
+        valid = "/".join(repr(c.value) for c in RequestClass)
+        raise FleetError(
+            f"unknown request_class {raw!r} (want {valid})"
+        ) from exc
+
+
 def query_from_json(obj: dict):
     """Build a fleet query from its wire representation.
 
     Raises:
-        FleetError: for an unknown kind or malformed payload.
+        FleetError: for an unknown kind, an unknown request class or a
+            malformed payload.
     """
     if not isinstance(obj, dict):
         raise FleetError("query must be a JSON object")
     kind = obj.get("kind")
+    if kind == "placement":
+        cls = _request_class(obj, RequestClass.INTERACTIVE)
+    elif kind == "what_if":
+        cls = _request_class(obj, RequestClass.BATCH)
     try:
-        cls = RequestClass(obj.get("request_class", "interactive"))
         if kind == "placement":
             utilization = obj.get("utilization")
             return PlacementQuery(
@@ -72,9 +93,7 @@ def query_from_json(obj: dict):
                     for u, p in obj["scenarios"]
                 ),
                 window_steps=int(obj.get("window_steps", 0)),
-                request_class=RequestClass(
-                    obj.get("request_class", "batch")
-                ),
+                request_class=cls,
             )
     except (KeyError, TypeError, ValueError) as exc:
         raise FleetError(f"malformed {kind!r} query: {exc}") from exc
@@ -99,6 +118,7 @@ class FleetService:
         checkpoint_dir: Optional[str] = None,
         session=None,
         tick_interval_s: float = 0.05,
+        backend: Optional[str] = None,
     ) -> None:
         if tick_interval_s <= 0:
             raise FleetError("tick interval must be positive")
@@ -108,6 +128,7 @@ class FleetService:
         # log, so they default off here (chaos runs keep them on).
         self.config = config or FleetConfig(log_heartbeats=False)
         self.checkpoint_dir = checkpoint_dir
+        self.backend = backend
         self.session = session
         self.tick_interval_s = tick_interval_s
         self.coordinator: Optional[FleetCoordinator] = None
@@ -131,6 +152,7 @@ class FleetService:
                 worker_id=w.worker_id,
                 heartbeat_interval_s=self.policy.heartbeat_interval_s,
                 checkpoint_dir=self.checkpoint_dir,
+                backend=self.backend,
             )
             for w in self.registry.workers
         }

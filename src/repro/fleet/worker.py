@@ -25,7 +25,12 @@ from typing import List, Optional, Tuple
 
 from ..errors import CheckpointCorruptionError
 from ..sim.checkpoint import SweepCheckpoint
-from .compute import ChassisCompute, ChassisSnapshot
+from .compute import (
+    WARM_FIELD_CACHE_MAX,
+    ChassisCompute,
+    ChassisSnapshot,
+)
+from .messages import QueryBatch
 from .registry import ChassisSpec
 
 
@@ -40,14 +45,18 @@ def worker_main(
     worker_id: str,
     heartbeat_interval_s: float,
     checkpoint_dir: Optional[str] = None,
+    backend: Optional[str] = None,
+    warm_capacity: int = WARM_FIELD_CACHE_MAX,
 ) -> None:
     """Worker process entry point (runs until ``stop`` or EOF).
 
     Protocol (all over the duplex pipe ``conn``):
 
     - outbound: ``("hello", cold)`` once, then ``("snapshot", snap)``
-      and ``("heartbeat", seq)`` / ``("answer", rid, payload)``;
-    - inbound: ``("request", rid, query)`` and ``("stop",)``.
+      and ``("heartbeat", seq)`` / ``("answer", rid, payload)`` /
+      ``("answer_batch", batch_id, entries, stats)``;
+    - inbound: ``("request", rid, query)``,
+      ``("request_batch", batch)`` and ``("stop",)``.
     """
     checkpoint = None
     snapshot: Optional[ChassisSnapshot] = None
@@ -63,7 +72,9 @@ def worker_main(
             # tell the supervisor so (the alternative — crashing — is
             # exactly the flap loop this path exists to break).
             cold = True
-    compute = ChassisCompute(spec)
+    compute = ChassisCompute(
+        spec, backend=backend, warm_capacity=warm_capacity
+    )
     try:
         conn.send(("hello", cold))
         if snapshot is None:
@@ -95,6 +106,32 @@ def worker_main(
                             snapshot_key(worker_id), snapshot
                         )
                     conn.send(("snapshot", snapshot))
+                if message[0] == "request_batch":
+                    batch: QueryBatch = message[1]
+                    payloads, stats = compute.answer_batch(
+                        batch.queries
+                    )
+                    conn.send(
+                        (
+                            "answer_batch",
+                            batch.batch_id,
+                            list(zip(batch.request_ids, payloads)),
+                            stats,
+                        )
+                    )
+                    # One snapshot per batch, from the last member's
+                    # state — the same end state the serial loop
+                    # would have reported after its final answer.
+                    snapshot = compute.snapshot(
+                        getattr(
+                            batch.queries[-1], "utilization", None
+                        )
+                    )
+                    if checkpoint is not None:
+                        checkpoint.save(
+                            snapshot_key(worker_id), snapshot
+                        )
+                    conn.send(("snapshot", snapshot))
             if time.monotonic() - last_beat >= heartbeat_interval_s:
                 seq += 1
                 conn.send(("heartbeat", seq))
@@ -117,11 +154,15 @@ class ProcessWorkerHandle:
         worker_id: str,
         heartbeat_interval_s: float,
         checkpoint_dir: Optional[str] = None,
+        backend: Optional[str] = None,
+        warm_capacity: int = WARM_FIELD_CACHE_MAX,
     ) -> None:
         self.spec = spec
         self.worker_id = worker_id
         self.heartbeat_interval_s = heartbeat_interval_s
         self.checkpoint_dir = checkpoint_dir
+        self.backend = backend
+        self.warm_capacity = warm_capacity
         self._proc: Optional[multiprocessing.Process] = None
         self._conn = None
         self._exit_reported = False
@@ -146,6 +187,8 @@ class ProcessWorkerHandle:
                 self.worker_id,
                 self.heartbeat_interval_s,
                 self.checkpoint_dir,
+                self.backend,
+                self.warm_capacity,
             ),
             daemon=True,
         )
@@ -170,6 +213,14 @@ class ProcessWorkerHandle:
             return
         try:
             self._conn.send(("request", request_id, query))
+        except (BrokenPipeError, OSError):
+            pass  # supervision will notice the corpse via poll()
+
+    def send_batch(self, batch: QueryBatch, now: float) -> None:
+        if self._conn is None:
+            return
+        try:
+            self._conn.send(("request_batch", batch))
         except (BrokenPipeError, OSError):
             pass  # supervision will notice the corpse via poll()
 

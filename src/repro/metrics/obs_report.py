@@ -46,6 +46,10 @@ class RunDigest:
             (0.0 when the log has no per-step events).
         truncated: Whether the log ended in a partial line (the
             writing process was killed mid-flush).
+        batching: Micro-batching digest summed over the log's
+            ``fleet_batch`` events (``n_batches``,
+            ``n_batched_queries``, ``max_batch_size``, ``warm_hits``,
+            ``warm_misses``), or ``None`` when the log has none.
     """
 
     name: str
@@ -53,6 +57,7 @@ class RunDigest:
     by_type: Dict[str, int]
     span_s: float
     truncated: bool
+    batching: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -68,6 +73,8 @@ class ObsReport:
             ``run_start`` events.
         profile: Per-component accounting summed across every profiled
             run's manifest, or ``None`` when nothing was profiled.
+        batching: Micro-batching digest summed across every log's
+            ``fleet_batch`` events, or ``None`` when no log batched.
     """
 
     directory: str
@@ -76,6 +83,7 @@ class ObsReport:
     manifests: int = 0
     schedulers: List[str] = field(default_factory=list)
     profile: Optional[RunProfile] = None
+    batching: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> dict:
         return {
@@ -87,6 +95,9 @@ class ObsReport:
                     "by_type": dict(run.by_type),
                     "span_s": run.span_s,
                     "truncated": run.truncated,
+                    "batching": (
+                        dict(run.batching) if run.batching else None
+                    ),
                 }
                 for run in self.runs
             ],
@@ -94,6 +105,7 @@ class ObsReport:
             "manifests": self.manifests,
             "schedulers": list(self.schedulers),
             "profile": self.profile.to_dict() if self.profile else None,
+            "batching": dict(self.batching) if self.batching else None,
         }
 
 
@@ -109,12 +121,22 @@ def _digest_log(path: Path) -> RunDigest:
         # schema violation) re-raises from here and fails the report.
         events = list(iter_events(path, strict=False, validate=True))
         truncated = True
+    batching: Counter = Counter()
     for event in events:
         by_type[event["type"]] += 1
         t = event.get("t")
         if isinstance(t, (int, float)):
             t_min = min(t_min, float(t))
             t_max = max(t_max, float(t))
+        if event["type"] == "fleet_batch":
+            size = int(event.get("size", 0))
+            batching["n_batches"] += 1
+            batching["n_batched_queries"] += size
+            batching["max_batch_size"] = max(
+                batching["max_batch_size"], size
+            )
+            batching["warm_hits"] += int(event.get("warm_hits", 0))
+            batching["warm_misses"] += int(event.get("warm_misses", 0))
     span = (t_max - t_min) if t_max >= t_min else 0.0
     return RunDigest(
         name=path.name,
@@ -122,6 +144,7 @@ def _digest_log(path: Path) -> RunDigest:
         by_type=dict(by_type),
         span_s=span,
         truncated=truncated,
+        batching=dict(batching) if batching else None,
     )
 
 
@@ -210,6 +233,16 @@ def obs_report(directory) -> ObsReport:
     report.totals = dict(totals)
     report.schedulers = sorted(schedulers)
     report.profile = _merge_profiles(profiles)
+    batching: Counter = Counter()
+    for run in report.runs:
+        if not run.batching:
+            continue
+        for key, value in run.batching.items():
+            if key == "max_batch_size":
+                batching[key] = max(batching[key], value)
+            else:
+                batching[key] += value
+    report.batching = dict(batching) if batching else None
     return report
 
 
@@ -231,6 +264,18 @@ def render(report: ObsReport) -> str:
     if truncated:
         lines.append(
             f"  truncated (killed mid-write): {', '.join(truncated)}"
+        )
+    if report.batching:
+        b = report.batching
+        n = b.get("n_batches", 0)
+        queries = b.get("n_batched_queries", 0)
+        mean = queries / n if n else 0.0
+        lines.append(
+            f"  fleet batching: {n} batch(es), {queries} member "
+            f"quer(ies) (mean {mean:.2f}/batch, "
+            f"max {b.get('max_batch_size', 0)}), warm cache "
+            f"{b.get('warm_hits', 0)} hit(s) / "
+            f"{b.get('warm_misses', 0)} miss(es)"
         )
     if report.profile is not None:
         lines.append("  aggregate profile:")

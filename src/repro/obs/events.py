@@ -26,6 +26,7 @@ event streams.
 from __future__ import annotations
 
 import math
+from collections.abc import Mapping as _MappingABC
 from typing import Dict, Mapping, Tuple
 
 from ..errors import ObservabilityError
@@ -192,6 +193,23 @@ EVENT_TYPES: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "request_id": (int,),
         "reason": (str,),
     },
+    # One event per micro-batch dispatched to a worker (the batching
+    # window path; see repro.fleet.coordinator FleetConfig
+    # batch_window_s/max_batch).  ``size`` is the member count,
+    # ``window_wait_s`` how long the oldest member waited inside the
+    # coalescing window, ``queue_len`` the queue depth right after the
+    # batch left it, and the warm counters are the warm-field cache
+    # hits/misses the batch consumed on the worker.
+    "fleet_batch": {
+        "t": (float, int),
+        "worker": (str,),
+        "chassis": (str,),
+        "size": (int,),
+        "window_wait_s": (float, int),
+        "queue_len": (int,),
+        "warm_hits": (int,),
+        "warm_misses": (int,),
+    },
     # -- room-layer events ---------------------------------------------
     # Emitted by the room fixed-point solver (repro.room.model): one
     # solve_start per solve, one iteration event per fixed-point pass,
@@ -245,7 +263,10 @@ def validate_event(event: Mapping) -> None:
             type, or a non-finite float (NaN/Infinity are not portable
             JSON and would poison downstream parsers).
     """
-    if not isinstance(event, Mapping):
+    # The abc check (not typing.Mapping, whose __instancecheck__ costs
+    # tens of microseconds) keeps validation off the serving hot path;
+    # plain dicts — every event the engine itself builds — short-circuit.
+    if not isinstance(event, (dict, _MappingABC)):
         raise ObservabilityError(
             f"event must be an object, got {type(event).__name__}"
         )

@@ -35,6 +35,44 @@ class TestBenchmarkCoverage:
                     os.path.join(bench_dir, name), doraise=True
                 )
 
+    def test_every_results_json_has_a_txt_twin(self):
+        """Committed results come in machine/human pairs.
+
+        Every ``benchmarks/results/*.json`` must sit next to a
+        non-empty ``.txt`` twin (and vice versa), and any ``BENCH``
+        summary lines the twin carries must round-trip as JSON so
+        downstream tooling can parse either file.
+        """
+        import json
+
+        results_dir = repo_path("benchmarks", "results")
+        names = sorted(os.listdir(results_dir))
+        stems = {
+            name[: -len(".json")]
+            for name in names
+            if name.endswith(".json")
+        }
+        txt_stems = {
+            name[: -len(".txt")]
+            for name in names
+            if name.endswith(".txt")
+        }
+        assert stems == txt_stems, (
+            f"unpaired result artifacts: json-only="
+            f"{sorted(stems - txt_stems)} "
+            f"txt-only={sorted(txt_stems - stems)}"
+        )
+        for stem in sorted(stems):
+            with open(
+                os.path.join(results_dir, stem + ".txt")
+            ) as handle:
+                text = handle.read()
+            assert text.strip(), f"{stem}.txt is empty"
+            for line in text.splitlines():
+                if line.startswith("BENCH "):
+                    payload = json.loads(line[len("BENCH "):])
+                    assert isinstance(payload, dict), stem
+
 
 class TestExamples:
     EXPECTED = (
